@@ -1,0 +1,28 @@
+// Command trendsplot renders Figure 1 (the Google Trends comparison of
+// "Serverless" and "MapReduce") as an ASCII chart.
+//
+// Usage:
+//
+//	trendsplot [-height 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/trends"
+)
+
+func main() {
+	height := flag.Int("height", 16, "chart height in rows")
+	flag.Parse()
+
+	fmt.Print(trends.Chart(*height))
+	mrPeak, mrWhen := trends.MapReduce().Peak()
+	sl := trends.Serverless().Last()
+	fmt.Printf("\nMapReduce peak: %.1f at %s; Serverless %s: %.1f (%.0f%% of the peak)\n",
+		mrPeak, mrWhen.Label(), sl.Label(), sl.Value, sl.Value/mrPeak*100)
+	if x := trends.CrossoverQuarter(); x != nil {
+		fmt.Printf("Serverless passes MapReduce in %s\n", x.Label())
+	}
+}

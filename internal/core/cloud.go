@@ -1,0 +1,76 @@
+package core
+
+import (
+	"repro/internal/compute"
+	"repro/internal/faas"
+	"repro/internal/kvstore"
+	"repro/internal/msgnet"
+	"repro/internal/netsim"
+	"repro/internal/objectstore"
+	"repro/internal/pricing"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// Rack layout: clients and EC2 instances in racks 0-8, managed services on
+// a dedicated "service side" rack so every storage access crosses racks,
+// as it does in a real region.
+const (
+	ClientRack  = 0
+	ServiceRack = 9
+)
+
+// Cloud is a fully assembled simulated region: the deterministic kernel,
+// the network, the four managed services, the FaaS platform, the EC2
+// provider, direct messaging, and a single cost meter everything charges.
+type Cloud struct {
+	K       *sim.Kernel
+	RNG     *simrand.RNG
+	Net     *netsim.Network
+	Catalog *pricing.Catalog
+	Meter   *pricing.Meter
+
+	S3     *objectstore.Store
+	DDB    *kvstore.Store
+	SQS    *queue.Service
+	Lambda *faas.Platform
+	EC2    *compute.Provider
+	Mesh   *msgnet.Mesh
+}
+
+// NewCloud assembles a region with the calibrated defaults.
+func NewCloud(seed uint64) *Cloud {
+	return NewCloudWith(seed, DefaultConfig())
+}
+
+// NewCloudWith assembles a region with explicit configuration (ablations).
+func NewCloudWith(seed uint64, cfg Config) *Cloud {
+	k := sim.NewKernel()
+	rng := simrand.New(seed)
+	net := netsim.NewNetwork(k, rng.Fork(), cfg.Latency)
+	catalog := pricing.Fall2018()
+	meter := &pricing.Meter{}
+	return &Cloud{
+		K:       k,
+		RNG:     rng,
+		Net:     net,
+		Catalog: catalog,
+		Meter:   meter,
+		S3:      objectstore.New("s3", net, ServiceRack, rng.Fork(), cfg.S3, catalog, meter),
+		DDB:     kvstore.New("dynamodb", net, ServiceRack, rng.Fork(), cfg.DDB, catalog, meter),
+		SQS:     queue.NewService("sqs", net, ServiceRack, rng.Fork(), cfg.SQS, catalog, meter),
+		Lambda:  faas.New("lambda", net, rng.Fork(), cfg.Lambda, catalog, meter),
+		EC2:     compute.NewProvider(net, rng.Fork(), cfg.EC2, catalog, meter),
+		Mesh:    msgnet.NewMesh(net, rng.Fork()),
+	}
+}
+
+// Close tears down the kernel, reaping any parked processes.
+func (c *Cloud) Close() { c.K.Close() }
+
+// ClientNode registers a client host (e.g. a measurement driver) in the
+// client rack with a 10 Gbps NIC.
+func (c *Cloud) ClientNode(name string) *netsim.Node {
+	return c.Net.NewNode(name, ClientRack, netsim.Gbps(10))
+}

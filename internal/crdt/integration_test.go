@@ -1,0 +1,180 @@
+package crdt
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// TestDisorderlyCounterOverEventualStorage is §3.2's thesis as a test:
+// stateless workers funnelling updates through *eventually consistent*
+// storage produce a correct total when the shared state is a CRDT, even
+// though reads may be stale and writes race. Workers read-merge-write a
+// G-Counter with conditional puts, retrying on conflicts; staleness can
+// cost retries, never correctness.
+func TestDisorderlyCounterOverEventualStorage(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	rng := simrand.New(88)
+	net := netsim.NewNetwork(k, rng.Fork(), netsim.DefaultLatency())
+	cfg := kvstore.DefaultConfig()
+	cfg.ReplicationLag = 200 * time.Millisecond // aggressive staleness
+	table := kvstore.New("ddb", net, 9, rng.Fork(), cfg, pricing.Fall2018(), &pricing.Meter{})
+
+	const workers = 5
+	const incsPerWorker = 20
+	var wg sim.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		node := net.NewNode(string(rune('a'+w)), 0, netsim.Mbps(538))
+		replica := string(rune('a' + w))
+		k.Spawn("worker", func(p *sim.Proc) {
+			defer wg.Done()
+			for i := 0; i < incsPerWorker; i++ {
+				for {
+					// Eventually consistent read (cheap, stale-able).
+					cur := NewGCounter()
+					var ver int64
+					item, err := table.Get(p, node, "counter", false)
+					switch {
+					case err == nil:
+						got, derr := UnmarshalGCounter(item.Value)
+						if derr != nil {
+							t.Errorf("decode: %v", derr)
+							return
+						}
+						cur = got
+						ver = item.Version
+					case errors.Is(err, kvstore.ErrNotFound):
+						// first writer
+					default:
+						t.Errorf("get: %v", err)
+						return
+					}
+					cur.Inc(replica, 1)
+					// A stale read gives a stale version: the CAS
+					// fails and we retry with fresher state. A stale
+					// *counter* state is harmless — our own slot is
+					// monotone and Merge fixes the rest.
+					if _, err := table.ConditionalPut(p, node, "counter", Marshal(cur), ver); err == nil {
+						break
+					}
+					p.Sleep(time.Duration(10+w) * time.Millisecond)
+				}
+			}
+		})
+	}
+	done := false
+	k.Spawn("waiter", func(p *sim.Proc) {
+		wg.Wait(p)
+		done = true
+	})
+	for t0 := sim.Time(0); !done && t0 < sim.Time(10*time.Minute); t0 += sim.Time(time.Second) {
+		k.RunUntil(t0)
+	}
+	if !done {
+		t.Fatal("workers did not finish")
+	}
+
+	var total int64
+	k.Spawn("reader", func(p *sim.Proc) {
+		node := net.NewNode("reader", 0, netsim.Mbps(538))
+		p.Sleep(time.Second) // let replication settle
+		item, err := table.Get(p, node, "counter", true)
+		if err != nil {
+			t.Errorf("final read: %v", err)
+			return
+		}
+		c, err := UnmarshalGCounter(item.Value)
+		if err != nil {
+			t.Errorf("final decode: %v", err)
+			return
+		}
+		total = c.Value()
+	})
+	k.Run()
+	if total != workers*incsPerWorker {
+		t.Errorf("converged total = %d, want %d", total, workers*incsPerWorker)
+	}
+}
+
+// TestLWWOverStaleReadsConverges shows the register variant: concurrent
+// configuration writers through eventual storage settle on the highest-
+// stamped value regardless of read staleness.
+func TestLWWOverStaleReadsConverges(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	rng := simrand.New(99)
+	net := netsim.NewNetwork(k, rng.Fork(), netsim.DefaultLatency())
+	cfg := kvstore.DefaultConfig()
+	cfg.ReplicationLag = 100 * time.Millisecond
+	table := kvstore.New("ddb", net, 9, rng.Fork(), cfg, pricing.Fall2018(), &pricing.Meter{})
+
+	writers := []struct {
+		replica string
+		stamp   int64
+		val     string
+	}{
+		{"a", 3, "v3"}, {"b", 7, "v7"}, {"c", 5, "v5"},
+	}
+	var wg sim.WaitGroup
+	for _, w := range writers {
+		w := w
+		wg.Add(1)
+		node := net.NewNode("w-"+w.replica, 0, netsim.Mbps(538))
+		k.Spawn("writer", func(p *sim.Proc) {
+			defer wg.Done()
+			for {
+				var reg LWWRegister
+				var ver int64
+				if item, err := table.Get(p, node, "config", false); err == nil {
+					if json0 := item.Value; json0 != nil {
+						var cur LWWRegister
+						if e := unmarshal(json0, &cur); e == nil {
+							reg = cur
+						}
+					}
+					ver = item.Version
+				}
+				reg.Set(w.replica, w.stamp, w.val)
+				if _, err := table.ConditionalPut(p, node, "config", Marshal(&reg), ver); err == nil {
+					return
+				}
+				p.Sleep(20 * time.Millisecond)
+			}
+		})
+	}
+	var final string
+	k.Spawn("reader", func(p *sim.Proc) {
+		wg.Wait(p)
+		p.Sleep(time.Second)
+		node := net.NewNode("reader", 0, netsim.Mbps(538))
+		item, err := table.Get(p, node, "config", true)
+		if err != nil {
+			t.Errorf("final read: %v", err)
+			return
+		}
+		var reg LWWRegister
+		if e := unmarshal(item.Value, &reg); e != nil {
+			t.Errorf("decode: %v", e)
+			return
+		}
+		final = reg.Get()
+	})
+	k.Run()
+	if final != "v7" {
+		t.Errorf("converged value = %q, want v7 (highest stamp)", final)
+	}
+}
+
+func unmarshal(data []byte, v any) error {
+	return json.Unmarshal(data, v)
+}

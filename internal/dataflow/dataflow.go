@@ -1,0 +1,284 @@
+// Package dataflow implements §4's "Flexible Programming, Common IR" and
+// "Fluid Code and Data Placement" proposals as a small data-centric DSL: a
+// job is a pipeline of relational-ish operators (scan → map/filter →
+// reduce) over partitioned data sets, compiled to a physical plan whose
+// placement decisions — ship code to data, or ship data to code — are made
+// by a cost model rather than hard-wired, exactly the optimization the
+// paper says FaaS forecloses ("FaaS routinely ships data to code rather
+// than shipping code to data").
+//
+// Execution runs on the future-platform's addressable agents. The planner
+// is deliberately simple (one decision per stage, linear cost model), but
+// it is a *real* planner: experiments can force either placement and
+// measure the cost model's prediction against simulated execution.
+package dataflow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/future"
+	"repro/internal/sim"
+)
+
+// Placement is where a stage's operator code runs.
+type Placement int
+
+// Placement choices.
+const (
+	// ShipCodeToData runs the operator on an agent co-located with the
+	// partition, moving only the (usually small) operator output.
+	ShipCodeToData Placement = iota
+	// ShipDataToCode streams the partition to a remote agent — the
+	// FaaS-style default the paper criticizes.
+	ShipDataToCode
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == ShipCodeToData {
+		return "code->data"
+	}
+	return "data->code"
+}
+
+// Op is one logical operator over a stream of records.
+type Op struct {
+	// Name labels the operator in plans.
+	Name string
+	// Selectivity is output bytes per input byte (1 = pass-through,
+	// 0.01 = aggressive filter/aggregation, >1 = expansion).
+	Selectivity float64
+	// CostMBps is how fast one core crunches this operator's input.
+	CostMBps float64
+}
+
+// Validate checks operator parameters.
+func (o Op) Validate() error {
+	if o.Name == "" {
+		return errors.New("dataflow: operator needs a name")
+	}
+	if o.Selectivity < 0 {
+		return fmt.Errorf("dataflow: %s: negative selectivity", o.Name)
+	}
+	if o.CostMBps <= 0 {
+		return fmt.Errorf("dataflow: %s: non-positive cost rate", o.Name)
+	}
+	return nil
+}
+
+// Job is a logical pipeline over one partitioned input.
+type Job struct {
+	// Input is the partitioned data set to scan.
+	Input *future.DataSet
+	// Partitions lists the extent keys to process.
+	Partitions []string
+	// Ops is the operator pipeline applied to every partition.
+	Ops []Op
+}
+
+// Validate checks the job.
+func (j *Job) Validate() error {
+	if j.Input == nil {
+		return errors.New("dataflow: job needs an input data set")
+	}
+	if len(j.Partitions) == 0 {
+		return errors.New("dataflow: job needs partitions")
+	}
+	if len(j.Ops) == 0 {
+		return errors.New("dataflow: job needs at least one operator")
+	}
+	for _, op := range j.Ops {
+		if err := op.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, p := range j.Partitions {
+		if _, ok := j.Input.Extent(p); !ok {
+			return fmt.Errorf("dataflow: unknown partition %q", p)
+		}
+	}
+	return nil
+}
+
+// Plan is a physical plan: one placement decision per partition pipeline.
+type Plan struct {
+	Job       *Job
+	Placement Placement
+	// PredictedSeconds is the cost model's per-partition estimate.
+	PredictedSeconds float64
+}
+
+// Env describes the execution environment the planner costs against.
+type Env struct {
+	// LocalReadMBps is co-located read throughput.
+	LocalReadMBps float64
+	// NetworkMBps is the effective partition-streaming throughput to a
+	// remote agent.
+	NetworkMBps float64
+	// ComputeMBps is agent compute throughput (placement-independent).
+	ComputeMBps float64
+	// CodeShipSeconds is the one-time cost of placing code next to data
+	// (amortized per partition by the planner).
+	CodeShipSeconds float64
+}
+
+// DefaultEnv mirrors future.DefaultConfig.
+func DefaultEnv() Env {
+	return Env{
+		LocalReadMBps:   2500,
+		NetworkMBps:     1250, // 10 Gbps
+		ComputeMBps:     1000,
+		CodeShipSeconds: 0.125,
+	}
+}
+
+// costOf predicts per-partition seconds under a placement.
+func (e Env) costOf(j *Job, pl Placement, partitionBytes float64) float64 {
+	mb := partitionBytes / 1e6
+	var secs float64
+	switch pl {
+	case ShipCodeToData:
+		secs = mb / e.LocalReadMBps
+		secs += e.CodeShipSeconds / float64(len(j.Partitions))
+	case ShipDataToCode:
+		secs = mb / e.NetworkMBps
+	}
+	// Operator chain: each op crunches its input then shrinks it.
+	cur := mb
+	for _, op := range j.Ops {
+		secs += cur / op.CostMBps
+		cur *= op.Selectivity
+	}
+	// Result shipping: only the final output moves for code->data;
+	// for data->code the result is already where the code is.
+	if pl == ShipCodeToData && cur > 0 {
+		secs += cur / e.NetworkMBps
+	}
+	return secs
+}
+
+// Plan picks the cheaper placement for the job under env. It returns the
+// plan plus both predictions so callers can inspect the margin.
+func (e Env) Plan(j *Job) (*Plan, map[Placement]float64, error) {
+	if err := j.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var avg float64
+	for _, p := range j.Partitions {
+		size, _ := j.Input.Extent(p)
+		avg += float64(size)
+	}
+	avg /= float64(len(j.Partitions))
+
+	costs := map[Placement]float64{
+		ShipCodeToData: e.costOf(j, ShipCodeToData, avg),
+		ShipDataToCode: e.costOf(j, ShipDataToCode, avg),
+	}
+	pl := ShipCodeToData
+	if costs[ShipDataToCode] < costs[ShipCodeToData] {
+		pl = ShipDataToCode
+	}
+	return &Plan{Job: j, Placement: pl, PredictedSeconds: costs[pl]}, costs, nil
+}
+
+// Result summarizes one executed job.
+type Result struct {
+	Placement        Placement
+	Partitions       int
+	Elapsed          time.Duration
+	OutputBytes      int64
+	PredictedSeconds float64
+}
+
+// Executor runs physical plans on a future-platform.
+type Executor struct {
+	pf   *future.Platform
+	env  Env
+	runs int // distinguishes agent names across Execute calls
+}
+
+// NewExecutor binds an executor to the platform.
+func NewExecutor(pf *future.Platform, env Env) *Executor {
+	return &Executor{pf: pf, env: env}
+}
+
+// Execute runs the plan with `workers` parallel agents, blocking the
+// calling process until every partition is processed.
+func (ex *Executor) Execute(p *sim.Proc, plan *Plan, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(plan.Job.Partitions) {
+		workers = len(plan.Job.Partitions)
+	}
+	start := p.Now()
+	var outputBytes int64
+
+	// Work queue over partitions.
+	work := sim.NewQueue[string](0)
+	for _, part := range plan.Job.Partitions {
+		work.TryPut(part)
+	}
+	work.Close()
+
+	ex.runs++
+	var wg sim.WaitGroup
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		name := fmt.Sprintf("df-run%d-worker%d", ex.runs, w)
+		p.Spawn(name, func(wp *sim.Proc) {
+			defer wg.Done()
+			var near *future.DataSet
+			if plan.Placement == ShipCodeToData {
+				near = plan.Job.Input
+			}
+			agent := ex.pf.SpawnAgent(wp, name, 1024, near)
+			defer agent.Stop(wp)
+			for {
+				part, ok := work.Get(wp)
+				if !ok {
+					return
+				}
+				size, _ := plan.Job.Input.Extent(part)
+				if err := agent.Read(wp, plan.Job.Input, part); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					return
+				}
+				out := runOps(wp, plan.Job.Ops, size)
+				// Ship the (reduced) result if code ran at the data.
+				if plan.Placement == ShipCodeToData && out > 0 {
+					secs := float64(out) / (ex.env.NetworkMBps * 1e6)
+					wp.Sleep(time.Duration(secs * float64(time.Second)))
+				}
+				outputBytes += out
+			}
+		})
+	}
+	wg.Wait(p)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return &Result{
+		Placement:        plan.Placement,
+		Partitions:       len(plan.Job.Partitions),
+		Elapsed:          time.Duration(p.Now() - start),
+		OutputBytes:      outputBytes,
+		PredictedSeconds: plan.PredictedSeconds,
+	}, nil
+}
+
+// runOps charges compute for the operator chain and returns output bytes.
+func runOps(p *sim.Proc, ops []Op, input int64) int64 {
+	cur := float64(input)
+	for _, op := range ops {
+		secs := cur / (op.CostMBps * 1e6)
+		p.Sleep(time.Duration(secs * float64(time.Second)))
+		cur *= op.Selectivity
+	}
+	return int64(cur)
+}

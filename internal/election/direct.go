@@ -1,0 +1,153 @@
+package election
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/msgnet"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// DirectNet runs the bully protocol over addressable point-to-point
+// messaging — what the paper's serverful baseline (and its §4 vision of
+// long-running addressable agents) can do, and FaaS cannot.
+type DirectNet struct {
+	mesh    *msgnet.Mesh
+	params  Params
+	members []int
+}
+
+// NewDirectNet creates the shared messaging configuration for the given
+// member ids.
+func NewDirectNet(mesh *msgnet.Mesh, params Params, members []int) *DirectNet {
+	return &DirectNet{mesh: mesh, params: params, members: SortIDs(append([]int(nil), members...))}
+}
+
+// wireMsg is the on-the-wire frame.
+type wireMsg struct {
+	Kind string  `json:"kind"` // "hb", "coordhb", "claim", "msg"
+	From int     `json:"from"`
+	Term int64   `json:"term"`
+	Type MsgType `json:"type,omitempty"`
+}
+
+func endpointName(id int) string { return fmt.Sprintf("bully-%06d", id) }
+
+// ForNode creates the per-node transport, registering an endpoint on the
+// given network node.
+func (d *DirectNet) ForNode(id int, node *netsim.Node) *DirectTransport {
+	return &DirectTransport{
+		net:      d,
+		id:       id,
+		ep:       d.mesh.Endpoint(endpointName(id), node),
+		lastSeen: make(map[int]sim.Time),
+	}
+}
+
+// DirectTransport is one node's messaging handle.
+type DirectTransport struct {
+	net *DirectNet
+	id  int
+	ep  *msgnet.Endpoint
+
+	lastSeen map[int]sim.Time
+	coord    coordRecord
+	coordAt  sim.Time
+	hasCoord bool
+}
+
+// Close tears down the endpoint (call after crashing a node so peers'
+// sends fail fast instead of queueing).
+func (t *DirectTransport) Close() { t.ep.Close() }
+
+func (t *DirectTransport) broadcast(p *sim.Proc, m wireMsg) {
+	data, _ := json.Marshal(m)
+	for _, peer := range t.net.members {
+		if peer == t.id {
+			continue
+		}
+		// Dead peers return errors; the protocol tolerates loss.
+		_ = t.ep.Send(p, endpointName(peer), data)
+	}
+}
+
+// Heartbeat implements Transport.
+func (t *DirectTransport) Heartbeat(p *sim.Proc, id int, term int64) {
+	t.broadcast(p, wireMsg{Kind: "hb", From: id, Term: term})
+}
+
+// LeaderHeartbeat implements Transport.
+func (t *DirectTransport) LeaderHeartbeat(p *sim.Proc, id int, term int64) {
+	t.adoptCoord(p.Now(), id, term)
+	t.broadcast(p, wireMsg{Kind: "coordhb", From: id, Term: term})
+}
+
+// Send implements Transport.
+func (t *DirectTransport) Send(p *sim.Proc, from, to int, typ MsgType, term int64) {
+	data, _ := json.Marshal(wireMsg{Kind: "msg", From: from, Term: term, Type: typ})
+	_ = t.ep.Send(p, endpointName(to), data)
+}
+
+// Claim implements Transport. Direct messaging has no CAS; bully resolves
+// concurrent claims by rank (only the highest live node reaches Claim,
+// and receivers prefer higher ids at equal terms).
+func (t *DirectTransport) Claim(p *sim.Proc, id int, term int64) bool {
+	t.adoptCoord(p.Now(), id, term)
+	t.broadcast(p, wireMsg{Kind: "claim", From: id, Term: term})
+	return true
+}
+
+func (t *DirectTransport) adoptCoord(now sim.Time, leader int, term int64) {
+	if !t.hasCoord || term > t.coord.Term ||
+		(term == t.coord.Term && leader >= t.coord.Leader) {
+		t.coord = coordRecord{Leader: leader, Term: term}
+		t.coordAt = now
+		t.hasCoord = true
+	}
+}
+
+// Observe implements Transport: drain the mailbox and synthesize the view.
+func (t *DirectTransport) Observe(p *sim.Proc, id int) View {
+	now := p.Now()
+	var view View
+	for {
+		pk, ok := t.ep.TryRecv()
+		if !ok {
+			break
+		}
+		var m wireMsg
+		if json.Unmarshal(pk.Payload, &m) != nil {
+			continue
+		}
+		switch m.Kind {
+		case "hb":
+			t.lastSeen[m.From] = now
+		case "coordhb", "claim":
+			t.lastSeen[m.From] = now
+			t.adoptCoord(now, m.From, m.Term)
+		case "msg":
+			t.lastSeen[m.From] = now
+			view.Inbox = append(view.Inbox, Message{Type: m.Type, From: m.From, Term: m.Term})
+		}
+	}
+	stale := sim.Time(t.net.params.FailureTimeout)
+	view.Alive = append(view.Alive, id) // self
+	for peer, seen := range t.lastSeen {
+		if now-seen < stale {
+			view.Alive = append(view.Alive, peer)
+		}
+	}
+	SortIDs(view.Alive)
+	view.Members = append([]int(nil), t.net.members...)
+	if t.hasCoord {
+		view.Coord = CoordView{
+			Leader: t.coord.Leader,
+			Term:   t.coord.Term,
+			Fresh:  now-t.coordAt < stale,
+		}
+	}
+	return view
+}
+
+var _ Transport = (*DirectTransport)(nil)

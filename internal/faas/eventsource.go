@@ -1,0 +1,96 @@
+package faas
+
+import (
+	"encoding/json"
+
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"time"
+)
+
+// SQSRecord is one message in an SQS-triggered invocation payload.
+type SQSRecord struct {
+	MessageID string `json:"messageId"`
+	Receipt   string `json:"receiptHandle"`
+	Body      string `json:"body"`
+}
+
+// SQSEvent is the payload shape delivered to SQS-triggered functions.
+type SQSEvent struct {
+	Records []SQSRecord `json:"records"`
+}
+
+// EncodeSQSEvent serializes messages into an invocation payload.
+func EncodeSQSEvent(msgs []queue.Message) []byte {
+	ev := SQSEvent{Records: make([]SQSRecord, len(msgs))}
+	for i, m := range msgs {
+		ev.Records[i] = SQSRecord{MessageID: m.ID, Receipt: m.Receipt, Body: string(m.Body)}
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		panic("faas: encoding SQS event: " + err.Error())
+	}
+	return b
+}
+
+// DecodeSQSEvent parses an invocation payload back into an event.
+func DecodeSQSEvent(payload []byte) (SQSEvent, error) {
+	var ev SQSEvent
+	err := json.Unmarshal(payload, &ev)
+	return ev, err
+}
+
+// EventSourceMapping is a poller that drains an SQS queue into a function,
+// modeling Lambda's SQS trigger: long-poll the queue, push each batch
+// through the mapping pipeline, invoke synchronously, and delete the batch
+// only on success (failures reappear after the visibility timeout).
+type EventSourceMapping struct {
+	pf        *Platform
+	q         *queue.Queue
+	fnName    string
+	batchSize int
+	stopped   bool
+	idleWait  time.Duration
+}
+
+// MapQueue starts an event-source mapping from q to the named function.
+// batchSize is capped at the queue's 10-message limit.
+func (pf *Platform) MapQueue(q *queue.Queue, fnName string, batchSize int) *EventSourceMapping {
+	if batchSize <= 0 || batchSize > queue.MaxBatch {
+		batchSize = queue.MaxBatch
+	}
+	esm := &EventSourceMapping{
+		pf:        pf,
+		q:         q,
+		fnName:    fnName,
+		batchSize: batchSize,
+		idleWait:  time.Second,
+	}
+	pf.net.Kernel().Spawn("esm/"+fnName, esm.run)
+	return esm
+}
+
+// Stop halts the poller after its current cycle.
+func (e *EventSourceMapping) Stop() { e.stopped = true }
+
+func (e *EventSourceMapping) run(p *sim.Proc) {
+	for !e.stopped {
+		msgs, err := e.q.Receive(p, e.pf.ctlNode, e.batchSize, e.idleWait)
+		if err != nil || len(msgs) == 0 {
+			continue
+		}
+		// Mapping pipeline delay between poll and invocation.
+		p.Sleep(e.pf.cfg.ESMDispatchDelay.Sample(e.pf.rng))
+		_, _, invErr := e.pf.Invoke(p, e.fnName, EncodeSQSEvent(msgs))
+		if invErr != nil {
+			continue // not deleted; visibility timeout will redeliver
+		}
+		receipts := make([]string, len(msgs))
+		for i, m := range msgs {
+			receipts[i] = m.Receipt
+		}
+		if err := e.q.DeleteBatch(p, e.pf.ctlNode, receipts); err != nil {
+			continue
+		}
+	}
+}

@@ -1,0 +1,392 @@
+// Package faas simulates an AWS-Lambda-style Functions-as-a-Service
+// platform, reproducing the restrictions §3 of the paper documents:
+//
+//   - Limited lifetimes: each invocation is capped (15 minutes); state
+//     survives only in best-effort warm containers.
+//   - I/O bottlenecks: functions of one user are packed onto shared VMs,
+//     so per-function bandwidth shrinks as concurrency grows (the VM NIC
+//     is a netsim fair-shared link).
+//   - No network addressability: handlers get no inbound endpoint; all
+//     communication must go through storage services.
+//   - Memory-proportional CPU: a 640MB function gets ~36% of a core.
+//   - Billing: $0.20/M requests plus GB-seconds rounded up to 100ms.
+//
+// Invocation overhead, cold/warm start times, and the SQS event-source
+// dispatch delay are calibration constants documented in EXPERIMENTS.md.
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// Errors returned by the platform.
+var (
+	ErrNoSuchFunction  = errors.New("faas: no such function")
+	ErrPayloadTooLarge = errors.New("faas: payload exceeds 6MB limit")
+	ErrTimeout         = errors.New("faas: function timed out")
+	ErrBadTimeout      = errors.New("faas: timeout exceeds 15 minute maximum")
+)
+
+// PayloadLimit is the maximum invocation payload size.
+const PayloadLimit = 6 * 1024 * 1024
+
+// Handler is user function code. It runs inside a simulated container; all
+// blocking work must go through ctx (compute) or the simulated services
+// (I/O), using ctx.Node() as the network caller so that traffic shares the
+// host VM's NIC with co-located functions.
+type Handler func(ctx *Ctx, payload []byte) ([]byte, error)
+
+// Function is a registered function.
+type Function struct {
+	Name     string
+	MemoryMB int
+	Timeout  time.Duration
+	Handler  Handler
+
+	// stats and reserved are platform-managed (see stats.go).
+	stats    FunctionStats
+	reserved *sim.Resource
+}
+
+// Config holds platform parameters.
+type Config struct {
+	// InvokeOverhead is the request routing/queueing delay per
+	// invocation, calibrated so a warm no-op invoke with a 1KB argument
+	// averages Table 1's 303 ms.
+	InvokeOverhead simrand.Dist
+
+	// ColdStart is the sandbox provisioning delay when no warm container
+	// exists. The Firecracker ablation (footnote 5) replaces it with a
+	// 125 ms microVM boot.
+	ColdStart simrand.Dist
+
+	// WarmStart is the dispatch delay into an existing container.
+	WarmStart simrand.Dist
+
+	// ESMDispatchDelay is the event-source-mapping pipeline delay
+	// between an SQS poll returning and the function invocation
+	// starting, calibrated so SQS-triggered serving lands at the
+	// paper's 447 ms per batch.
+	ESMDispatchDelay simrand.Dist
+
+	// VMNICBps is the capacity of each function-hosting VM's NIC
+	// (538 Mbps, the per-function bandwidth Wang et al. measured for a
+	// solo function).
+	VMNICBps netsim.Bps
+
+	// ContainersPerVM is how many containers the platform packs onto
+	// one VM before allocating another (the paper: "AWS appears to
+	// attempt to pack Lambda functions from the same user together on
+	// a single VM").
+	ContainersPerVM int
+
+	// FullCoreMemoryMB is the memory size at which a function receives
+	// a whole vCPU (1,769 MB on Lambda).
+	FullCoreMemoryMB int
+
+	// FullCoreComputeMBps is the single-core data-crunching rate,
+	// calibrated so a 640MB function runs the optimizer over 100MB in
+	// the paper's 0.59 s.
+	FullCoreComputeMBps float64
+
+	// MaxTimeout caps per-invocation lifetime (15 minutes).
+	MaxTimeout time.Duration
+
+	// WarmTTL is how long an idle container stays reusable.
+	WarmTTL time.Duration
+
+	// AccountConcurrency caps simultaneous executions (default 1000).
+	AccountConcurrency int
+
+	// Rack places the platform's VMs and control plane.
+	Rack int
+}
+
+// DefaultConfig returns the calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		InvokeOverhead:      simrand.LogNormal{Median: 294 * time.Millisecond, Sigma: 0.08},
+		ColdStart:           simrand.LogNormal{Median: 650 * time.Millisecond, Sigma: 0.25},
+		WarmStart:           simrand.Uniform{Lo: 3 * time.Millisecond, Hi: 7 * time.Millisecond},
+		ESMDispatchDelay:    simrand.Uniform{Lo: 115 * time.Millisecond, Hi: 155 * time.Millisecond},
+		VMNICBps:            netsim.Mbps(538),
+		ContainersPerVM:     20,
+		FullCoreMemoryMB:    1769,
+		FullCoreComputeMBps: 468.6,
+		MaxTimeout:          15 * time.Minute,
+		WarmTTL:             10 * time.Minute,
+		AccountConcurrency:  1000,
+		Rack:                1,
+	}
+}
+
+// hostVM is one function-hosting virtual machine.
+type hostVM struct {
+	node       *netsim.Node
+	containers int
+}
+
+// container is one function sandbox.
+type container struct {
+	fn       *Function
+	vm       *hostVM
+	local    map[string]any
+	lastUsed sim.Time
+	// provisioned containers never expire from the warm pool.
+	provisioned bool
+}
+
+// Platform is the FaaS control plane plus its fleet of hosting VMs.
+type Platform struct {
+	net     *netsim.Network
+	rng     *simrand.RNG
+	cfg     Config
+	catalog *pricing.Catalog
+	meter   *pricing.Meter
+
+	ctlNode     *netsim.Node // control plane / event-source pollers
+	functions   map[string]*Function
+	vms         []*hostVM
+	idle        map[string][]*container // warm pool per function, LIFO
+	concurrency *sim.Resource
+	nextVM      int
+}
+
+// New creates a platform.
+func New(name string, net *netsim.Network, rng *simrand.RNG, cfg Config,
+	catalog *pricing.Catalog, meter *pricing.Meter) *Platform {
+	return &Platform{
+		net:         net,
+		rng:         rng,
+		cfg:         cfg,
+		catalog:     catalog,
+		meter:       meter,
+		ctlNode:     net.NewNode(name+"/ctl", cfg.Rack, netsim.Gbps(100)),
+		functions:   make(map[string]*Function),
+		idle:        make(map[string][]*container),
+		concurrency: sim.NewResource(cfg.AccountConcurrency),
+	}
+}
+
+// Register adds (or replaces) a function. Memory must be positive and the
+// timeout at most MaxTimeout; a zero timeout defaults to the maximum.
+func (pf *Platform) Register(fn Function) error {
+	if fn.Name == "" || fn.Handler == nil || fn.MemoryMB <= 0 {
+		return fmt.Errorf("faas: invalid function %q", fn.Name)
+	}
+	if fn.Timeout == 0 {
+		fn.Timeout = pf.cfg.MaxTimeout
+	}
+	if fn.Timeout > pf.cfg.MaxTimeout {
+		return ErrBadTimeout
+	}
+	pf.functions[fn.Name] = &fn
+	return nil
+}
+
+// VMCount reports how many hosting VMs have been allocated.
+func (pf *Platform) VMCount() int { return len(pf.vms) }
+
+// Report describes one completed invocation.
+type Report struct {
+	Duration       time.Duration // handler execution time
+	BilledDuration time.Duration // rounded up to 100ms, capped at timeout
+	ColdStart      bool
+	VMNode         *netsim.Node
+}
+
+// Invoke synchronously executes the named function, blocking the caller
+// through routing overhead, container acquisition, execution, and response.
+// It returns the handler's response, an execution report, and an error
+// (handler error, ErrTimeout, or a platform error).
+func (pf *Platform) Invoke(p *sim.Proc, name string, payload []byte) ([]byte, Report, error) {
+	fn, ok := pf.functions[name]
+	if !ok {
+		return nil, Report{}, fmt.Errorf("%w: %q", ErrNoSuchFunction, name)
+	}
+	if len(payload) > PayloadLimit {
+		return nil, Report{}, ErrPayloadTooLarge
+	}
+	pf.meter.Charge("lambda.request", 1, pf.catalog.LambdaPerRequest)
+	p.Sleep(pf.cfg.InvokeOverhead.Sample(pf.rng))
+
+	fn.acquireReserved(p)
+	defer fn.releaseReserved()
+	pf.concurrency.Acquire(p)
+	defer pf.concurrency.Release()
+
+	cont, cold := pf.acquireContainer(p, fn)
+	// Ship the argument to the hosting VM through its shared NIC.
+	if len(payload) > 0 {
+		pf.net.Fabric().Transfer(p, int64(len(payload)), cont.vm.node.NIC())
+	}
+
+	start := p.Now()
+	ctx := &Ctx{proc: p, pf: pf, fn: fn, cont: cont, deadline: start + fn.Timeout, cold: cold}
+	resp, err := fn.Handler(ctx, payload)
+	dur := p.Now() - start
+
+	timedOut := dur > fn.Timeout
+	billed := dur
+	if timedOut {
+		billed = fn.Timeout
+	}
+	pf.meter.ChargeCost("lambda.gbsec", pf.catalog.LambdaCompute(fn.MemoryMB, billed))
+
+	rep := Report{
+		Duration:       dur,
+		BilledDuration: pricing.LambdaDuration(billed),
+		ColdStart:      cold,
+		VMNode:         cont.vm.node,
+	}
+	fn.stats.Invocations++
+	fn.stats.TotalTime += dur
+	fn.stats.BilledTime += rep.BilledDuration
+	if cold {
+		fn.stats.ColdStarts++
+	}
+	if timedOut {
+		fn.stats.Timeouts++
+	}
+	if err != nil || timedOut {
+		fn.stats.Errors++
+	}
+	if timedOut {
+		// The sandbox is killed; its state is not reusable.
+		pf.destroyContainer(cont)
+		return nil, rep, fmt.Errorf("%w after %v (limit %v)", ErrTimeout, dur, fn.Timeout)
+	}
+	pf.releaseContainer(p, cont)
+	return resp, rep, err
+}
+
+// InvokeAsync fires the function without waiting; the returned promise
+// resolves with the outcome. Event-style invocations use this path.
+func (pf *Platform) InvokeAsync(p *sim.Proc, name string, payload []byte) *sim.Promise[AsyncResult] {
+	pr := &sim.Promise[AsyncResult]{}
+	p.Spawn("faas-async/"+name, func(ap *sim.Proc) {
+		resp, rep, err := pf.Invoke(ap, name, payload)
+		pr.Resolve(AsyncResult{Response: resp, Report: rep, Err: err})
+	})
+	return pr
+}
+
+// AsyncResult is the outcome of an InvokeAsync.
+type AsyncResult struct {
+	Response []byte
+	Report   Report
+	Err      error
+}
+
+// acquireContainer returns a warm container if one is idle, otherwise cold
+// starts a new one on a packed VM.
+func (pf *Platform) acquireContainer(p *sim.Proc, fn *Function) (*container, bool) {
+	pool := pf.idle[fn.Name]
+	for len(pool) > 0 {
+		cont := pool[len(pool)-1]
+		pool = pool[:len(pool)-1]
+		if !cont.provisioned && p.Now()-cont.lastUsed > pf.cfg.WarmTTL {
+			pf.removeFromVM(cont) // expired; fall through to next candidate
+			continue
+		}
+		pf.idle[fn.Name] = pool
+		p.Sleep(pf.cfg.WarmStart.Sample(pf.rng))
+		return cont, false
+	}
+	pf.idle[fn.Name] = pool
+
+	vm := pf.pickVM()
+	vm.containers++
+	p.Sleep(pf.cfg.ColdStart.Sample(pf.rng))
+	return &container{fn: fn, vm: vm, local: make(map[string]any)}, true
+}
+
+// pickVM returns the first VM with packing room, allocating a new one only
+// when all are full — the packing behaviour behind the bandwidth collapse.
+func (pf *Platform) pickVM() *hostVM {
+	for _, vm := range pf.vms {
+		if vm.containers < pf.cfg.ContainersPerVM {
+			return vm
+		}
+	}
+	pf.nextVM++
+	vm := &hostVM{
+		node: pf.net.NewNode(fmt.Sprintf("lambda-vm-%d", pf.nextVM), pf.cfg.Rack, pf.cfg.VMNICBps),
+	}
+	pf.vms = append(pf.vms, vm)
+	return vm
+}
+
+func (pf *Platform) releaseContainer(p *sim.Proc, cont *container) {
+	cont.lastUsed = p.Now()
+	pf.idle[cont.fn.Name] = append(pf.idle[cont.fn.Name], cont)
+}
+
+func (pf *Platform) destroyContainer(cont *container) {
+	pf.removeFromVM(cont)
+}
+
+func (pf *Platform) removeFromVM(cont *container) {
+	cont.vm.containers--
+}
+
+// Ctx is the execution context passed to handlers.
+type Ctx struct {
+	proc     *sim.Proc
+	pf       *Platform
+	fn       *Function
+	cont     *container
+	deadline sim.Time
+	cold     bool
+}
+
+// Proc returns the simulated process the handler runs on.
+func (c *Ctx) Proc() *sim.Proc { return c.proc }
+
+// Node returns the hosting VM's network node. All of the handler's service
+// I/O must use it as the caller so traffic contends on the shared NIC.
+func (c *Ctx) Node() *netsim.Node { return c.cont.vm.node }
+
+// MemoryMB returns the function's configured memory size.
+func (c *Ctx) MemoryMB() int { return c.fn.MemoryMB }
+
+// ColdStart reports whether this invocation cold-started its container.
+func (c *Ctx) ColdStart() bool { return c.cold }
+
+// Remaining returns the time left before the invocation's deadline.
+func (c *Ctx) Remaining() time.Duration {
+	d := c.deadline - c.proc.Now()
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Local returns container-local scratch state. It survives across warm
+// invocations of the same container — and only those; the platform gives no
+// way to ensure reuse, exactly the limitation the paper highlights.
+func (c *Ctx) Local() map[string]any { return c.cont.local }
+
+// ComputeShare returns the fraction of a core this function receives
+// (memory-proportional, capped at one core for single-threaded handlers).
+func (c *Ctx) ComputeShare() float64 {
+	share := float64(c.fn.MemoryMB) / float64(c.pf.cfg.FullCoreMemoryMB)
+	if share > 1 {
+		share = 1
+	}
+	return share
+}
+
+// Compute blocks for the time this function takes to crunch through `bytes`
+// of data at its memory-scaled CPU share.
+func (c *Ctx) Compute(bytes int64) {
+	rate := c.pf.cfg.FullCoreComputeMBps * 1e6 * c.ComputeShare()
+	c.proc.Sleep(time.Duration(float64(bytes) / rate * float64(time.Second)))
+}

@@ -1,0 +1,97 @@
+package faas
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/objectstore"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// TestPackedFunctionsContendForStorageBandwidth is the integration test for
+// the paper's core architectural claim: because one user's functions are
+// packed onto shared VMs, their storage fetches contend on the VM NIC, so
+// fetch time grows with concurrency even though the storage service itself
+// has headroom.
+func TestPackedFunctionsContendForStorageBandwidth(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	rng := simrand.New(61)
+	net := netsim.NewNetwork(k, rng.Fork(), netsim.DefaultLatency())
+	meter := &pricing.Meter{}
+	catalog := pricing.Fall2018()
+	pf := New("lambda", net, rng.Fork(), DefaultConfig(), catalog, meter)
+	// A store with a generous per-connection cap so the VM NIC is the
+	// only bottleneck in play.
+	cfg := objectstore.DefaultConfig()
+	cfg.PerConnBps = netsim.Gbps(10)
+	store := objectstore.New("s3", net, 9, rng.Fork(), cfg, catalog, meter)
+	staging := net.NewNode("staging", 0, netsim.Gbps(10))
+
+	const objectMB = 20
+	fetchTime := map[int][]time.Duration{}
+	var concurrencyLevel int
+
+	if err := pf.Register(Function{
+		Name: "fetcher", MemoryMB: 512, Timeout: 5 * time.Minute,
+		Handler: func(ctx *Ctx, _ []byte) ([]byte, error) {
+			p := ctx.Proc()
+			start := p.Now()
+			if _, err := store.Get(p, ctx.Node(), "blob"); err != nil {
+				return nil, err
+			}
+			lvl := concurrencyLevel
+			fetchTime[lvl] = append(fetchTime[lvl], time.Duration(p.Now()-start))
+			return nil, nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	done := false
+	k.Spawn("driver", func(p *sim.Proc) {
+		store.PutSized(p, staging, "blob", objectMB*1e6)
+		for _, n := range []int{1, 10} {
+			concurrencyLevel = n
+			var wg sim.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				p.Spawn("inv", func(ip *sim.Proc) {
+					defer wg.Done()
+					if _, _, err := pf.Invoke(ip, "fetcher", nil); err != nil {
+						t.Errorf("invoke: %v", err)
+					}
+				})
+			}
+			wg.Wait(p)
+			p.Sleep(time.Second)
+		}
+		done = true
+	})
+	k.RunUntil(sim.Time(time.Hour))
+	if !done {
+		t.Fatal("driver did not finish")
+	}
+
+	mean := func(ds []time.Duration) time.Duration {
+		var sum time.Duration
+		for _, d := range ds {
+			sum += d
+		}
+		return sum / time.Duration(len(ds))
+	}
+	solo := mean(fetchTime[1])
+	packed := mean(fetchTime[10])
+	// 20MB at 538Mbps is ~0.3s solo; ten co-located fetchers share the
+	// NIC, so each takes several times longer. (Not a full 10x: the
+	// invocations' cold starts stagger the transfer windows.)
+	if solo < 250*time.Millisecond || solo > 400*time.Millisecond {
+		t.Errorf("solo fetch = %v, want ~0.3s", solo)
+	}
+	if packed < 3*solo {
+		t.Errorf("packed fetch %v vs solo %v: NIC contention missing", packed, solo)
+	}
+}

@@ -1,0 +1,85 @@
+package faas
+
+// Per-function reserved concurrency and invocation statistics, mirroring
+// Lambda's reserved-concurrency knob and CloudWatch-style counters. These
+// matter to anyone sizing the §3.1 workloads: reserved concurrency is the
+// only admission control FaaS offers, and the stats are how experiments
+// observe cold-start rates without instrumenting handlers.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// FunctionStats are cumulative per-function counters.
+type FunctionStats struct {
+	Invocations int64
+	Errors      int64
+	Timeouts    int64
+	ColdStarts  int64
+	Throttles   int64 // invocations that waited on reserved concurrency
+	TotalTime   time.Duration
+	BilledTime  time.Duration
+}
+
+// ColdStartRate returns the fraction of invocations that cold-started.
+func (s FunctionStats) ColdStartRate() float64 {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return float64(s.ColdStarts) / float64(s.Invocations)
+}
+
+// MeanDuration returns the mean handler execution time.
+func (s FunctionStats) MeanDuration() time.Duration {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return s.TotalTime / time.Duration(s.Invocations)
+}
+
+// Stats returns a copy of the named function's counters.
+func (pf *Platform) Stats(name string) (FunctionStats, error) {
+	fn, ok := pf.functions[name]
+	if !ok {
+		return FunctionStats{}, fmt.Errorf("%w: %q", ErrNoSuchFunction, name)
+	}
+	return fn.stats, nil
+}
+
+// SetReservedConcurrency caps the named function's simultaneous executions
+// (n <= 0 removes the cap). Invocations beyond the cap queue FIFO, like
+// Lambda throttling with retry.
+func (pf *Platform) SetReservedConcurrency(name string, n int) error {
+	fn, ok := pf.functions[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchFunction, name)
+	}
+	if n <= 0 {
+		fn.reserved = nil
+		return nil
+	}
+	fn.reserved = sim.NewResource(n)
+	return nil
+}
+
+// acquireReserved blocks until the function's reserved-concurrency slot is
+// available, counting a throttle if it had to wait.
+func (fn *Function) acquireReserved(p *sim.Proc) {
+	if fn.reserved == nil {
+		return
+	}
+	if fn.reserved.TryAcquire() {
+		return
+	}
+	fn.stats.Throttles++
+	fn.reserved.Acquire(p)
+}
+
+func (fn *Function) releaseReserved() {
+	if fn.reserved != nil {
+		fn.reserved.Release()
+	}
+}

@@ -1,0 +1,173 @@
+package faas
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestStatsCounters(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	boom := errors.New("boom")
+	calls := 0
+	f.pf.Register(Function{Name: "flaky", MemoryMB: 256, Timeout: time.Second,
+		Handler: func(ctx *Ctx, _ []byte) ([]byte, error) {
+			calls++
+			switch calls {
+			case 2:
+				return nil, boom
+			case 3:
+				ctx.Proc().Sleep(5 * time.Second) // timeout
+			}
+			return nil, nil
+		}})
+	f.k.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			f.pf.Invoke(p, "flaky", nil)
+		}
+	})
+	f.k.Run()
+	st, err := f.pf.Stats("flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Invocations != 4 {
+		t.Errorf("Invocations = %d", st.Invocations)
+	}
+	if st.Errors != 2 { // handler error + timeout
+		t.Errorf("Errors = %d, want 2", st.Errors)
+	}
+	if st.Timeouts != 1 {
+		t.Errorf("Timeouts = %d, want 1", st.Timeouts)
+	}
+	// Cold starts: first call, plus the call after the timeout destroyed
+	// the container.
+	if st.ColdStarts != 2 {
+		t.Errorf("ColdStarts = %d, want 2", st.ColdStarts)
+	}
+	if st.ColdStartRate() != 0.5 {
+		t.Errorf("ColdStartRate = %v", st.ColdStartRate())
+	}
+	if st.MeanDuration() <= 0 || st.BilledTime <= 0 {
+		t.Error("durations not accumulated")
+	}
+}
+
+func TestStatsUnknownFunction(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	if _, err := f.pf.Stats("ghost"); !errors.Is(err, ErrNoSuchFunction) {
+		t.Errorf("err = %v", err)
+	}
+	if err := f.pf.SetReservedConcurrency("ghost", 1); !errors.Is(err, ErrNoSuchFunction) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReservedConcurrencySerializes(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	inFlight, maxInFlight := 0, 0
+	f.pf.Register(Function{Name: "limited", MemoryMB: 256,
+		Handler: func(ctx *Ctx, _ []byte) ([]byte, error) {
+			inFlight++
+			if inFlight > maxInFlight {
+				maxInFlight = inFlight
+			}
+			ctx.Proc().Sleep(time.Second)
+			inFlight--
+			return nil, nil
+		}})
+	if err := f.pf.SetReservedConcurrency("limited", 2); err != nil {
+		t.Fatal(err)
+	}
+	var wg sim.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		f.k.Spawn("c", func(p *sim.Proc) {
+			defer wg.Done()
+			f.pf.Invoke(p, "limited", nil)
+		})
+	}
+	f.k.Run()
+	if maxInFlight > 2 {
+		t.Errorf("max in flight = %d, want <= 2 (reserved)", maxInFlight)
+	}
+	st, _ := f.pf.Stats("limited")
+	if st.Throttles < 3 {
+		t.Errorf("Throttles = %d, want >= 3", st.Throttles)
+	}
+}
+
+func TestReservedConcurrencyRemoved(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.pf.Register(Function{Name: "f", MemoryMB: 128, Handler: noop})
+	f.pf.SetReservedConcurrency("f", 1)
+	if err := f.pf.SetReservedConcurrency("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	done := 0
+	var wg sim.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		f.k.Spawn("c", func(p *sim.Proc) {
+			defer wg.Done()
+			f.pf.Invoke(p, "f", nil)
+			done++
+		})
+	}
+	f.k.Run()
+	if done != 4 {
+		t.Errorf("done = %d", done)
+	}
+	st, _ := f.pf.Stats("f")
+	if st.Throttles != 0 {
+		t.Errorf("Throttles = %d after cap removal", st.Throttles)
+	}
+}
+
+func TestProvisionedConcurrencyEliminatesColdStarts(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.pf.Register(Function{Name: "hot", MemoryMB: 512, Handler: noop})
+	if err := f.pf.ProvisionConcurrency(nil, "ghost", 1); err == nil {
+		t.Error("provisioning unknown function accepted")
+	}
+	f.k.Spawn("ops", func(p *sim.Proc) {
+		if err := f.pf.ProvisionConcurrency(p, "hot", 3); err != nil {
+			t.Errorf("provision: %v", err)
+			return
+		}
+		if got := f.pf.ProvisionedIdle("hot"); got != 3 {
+			t.Errorf("ProvisionedIdle = %d, want 3", got)
+		}
+		// Idle far beyond WarmTTL: provisioned containers must survive.
+		p.Sleep(time.Hour)
+		var wg sim.WaitGroup
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			p.Spawn("inv", func(ip *sim.Proc) {
+				defer wg.Done()
+				_, rep, err := f.pf.Invoke(ip, "hot", nil)
+				if err != nil {
+					t.Errorf("invoke: %v", err)
+				}
+				if rep.ColdStart {
+					t.Error("provisioned invocation cold-started")
+				}
+			})
+		}
+		wg.Wait(p)
+	})
+	f.k.Run()
+}
+
+func TestProvisionInvalidCount(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.pf.Register(Function{Name: "f", MemoryMB: 128, Handler: noop})
+	f.k.Spawn("ops", func(p *sim.Proc) {
+		if err := f.pf.ProvisionConcurrency(p, "f", 0); err == nil {
+			t.Error("zero provisioned concurrency accepted")
+		}
+	})
+	f.k.Run()
+}

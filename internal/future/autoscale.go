@@ -1,0 +1,196 @@
+package future
+
+// Autoscaling agent pools: §4 insists the fix for FaaS must keep its one
+// step forward — workload-driven allocation and pay-per-use billing. A Pool
+// is a set of identical agents serving a request queue; a scaler process
+// watches the backlog and grows or shrinks the fleet between configured
+// bounds. Agents are billed per GB-second only while they exist, so an
+// idle pool at Min size costs almost nothing — autoscaling economics with
+// addressable, long-running workers.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("future: pool closed")
+
+// PoolConfig sizes and paces an autoscaling pool.
+type PoolConfig struct {
+	// Min and Max bound the fleet (Min >= 1).
+	Min, Max int
+	// MemoryMB sizes each agent.
+	MemoryMB int
+	// TargetBacklog is the queue depth per agent the scaler aims for;
+	// deeper backlogs trigger scale-out.
+	TargetBacklog int
+	// TargetLatency, when set, switches the scaler to SLO mode: the
+	// fleet grows while observed p95 request latency exceeds the target
+	// and shrinks while it is comfortably met (see slo.go).
+	TargetLatency time.Duration
+	// ScaleInterval is the scaler's control period.
+	ScaleInterval time.Duration
+	// Handler processes one request on an agent.
+	Handler func(p *sim.Proc, agent *Agent, req []byte) []byte
+}
+
+func (c *PoolConfig) validate() error {
+	if c.Min < 1 || c.Max < c.Min {
+		return fmt.Errorf("future: pool bounds %d..%d invalid", c.Min, c.Max)
+	}
+	if c.MemoryMB <= 0 {
+		return errors.New("future: pool agents need memory")
+	}
+	if c.Handler == nil {
+		return errors.New("future: pool needs a handler")
+	}
+	if c.TargetBacklog <= 0 {
+		c.TargetBacklog = 4
+	}
+	if c.ScaleInterval <= 0 {
+		c.ScaleInterval = time.Second
+	}
+	return nil
+}
+
+// poolReq is one queued request (stop is a scale-down token).
+type poolReq struct {
+	body     []byte
+	out      *sim.Promise[[]byte]
+	enqueued sim.Time
+	stop     bool
+}
+
+// Pool is an autoscaled set of agents behind one queue.
+type Pool struct {
+	pf     *Platform
+	name   string
+	cfg    PoolConfig
+	queue  *sim.Queue[poolReq]
+	size   int
+	peak   int
+	served int64
+	nextID int
+	closed bool
+
+	// SLO-mode state (slo.go).
+	recent    []time.Duration
+	recentIdx int
+}
+
+// NewPool creates and starts a pool (scaler plus Min agents).
+func (pf *Platform) NewPool(k *sim.Kernel, name string, cfg PoolConfig) (*Pool, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	pool := &Pool{
+		pf:    pf,
+		name:  name,
+		cfg:   cfg,
+		queue: sim.NewQueue[poolReq](0),
+	}
+	k.Spawn(name+"/scaler", pool.scale)
+	return pool, nil
+}
+
+// Size reports the current fleet size.
+func (p *Pool) Size() int { return p.size }
+
+// Peak reports the largest fleet size reached.
+func (p *Pool) Peak() int { return p.peak }
+
+// Served reports completed requests.
+func (p *Pool) Served() int64 { return p.served }
+
+// Backlog reports queued-but-unclaimed requests.
+func (p *Pool) Backlog() int { return p.queue.Len() }
+
+// Submit enqueues a request and returns a promise for its response.
+func (p *Pool) Submit(proc *sim.Proc, body []byte) (*sim.Promise[[]byte], error) {
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	pr := &sim.Promise[[]byte]{}
+	p.queue.Put(proc, poolReq{body: body, out: pr, enqueued: proc.Now()})
+	return pr, nil
+}
+
+// Close drains the fleet; queued requests are still served first (stop
+// tokens queue behind them).
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for i := 0; i < p.size; i++ {
+		p.queue.TryPut(poolReq{stop: true})
+	}
+}
+
+// scale is the control loop: keep backlog per agent near the target.
+func (p *Pool) scale(proc *sim.Proc) {
+	for i := 0; i < p.cfg.Min; i++ {
+		p.addWorker(proc)
+	}
+	for !p.closed {
+		proc.Sleep(p.cfg.ScaleInterval)
+		if p.closed {
+			return
+		}
+		var desired int
+		if p.cfg.TargetLatency > 0 {
+			desired = p.sloDesired()
+		} else {
+			desired = p.cfg.Min
+			if backlog := p.queue.Len(); backlog > 0 {
+				desired += (backlog + p.cfg.TargetBacklog - 1) / p.cfg.TargetBacklog
+			}
+		}
+		if desired > p.cfg.Max {
+			desired = p.cfg.Max
+		}
+		if desired < p.cfg.Min {
+			desired = p.cfg.Min
+		}
+		changed := false
+		for p.size < desired {
+			p.addWorker(proc)
+			changed = true
+		}
+		for over := p.size - desired; over > 0; over-- {
+			p.size-- // accounted now; the token reaps an agent later
+			p.queue.TryPut(poolReq{stop: true})
+			changed = true
+		}
+		if changed && p.cfg.TargetLatency > 0 {
+			p.resetWindow()
+		}
+	}
+}
+
+func (p *Pool) addWorker(proc *sim.Proc) {
+	p.nextID++
+	p.size++
+	if p.size > p.peak {
+		p.peak = p.size
+	}
+	name := fmt.Sprintf("%s/agent-%03d", p.name, p.nextID)
+	proc.Spawn(name, func(wp *sim.Proc) {
+		agent := p.pf.SpawnAgent(wp, name, p.cfg.MemoryMB, nil)
+		defer agent.Stop(wp)
+		for {
+			req, ok := p.queue.Get(wp)
+			if !ok || req.stop {
+				return
+			}
+			resp := p.cfg.Handler(wp, agent, req.body)
+			p.served++
+			p.recordLatency(time.Duration(wp.Now() - req.enqueued))
+			req.out.Resolve(resp)
+		}
+	})
+}

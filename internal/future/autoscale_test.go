@@ -1,0 +1,242 @@
+package future
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+func poolConfig(handler func(p *sim.Proc, a *Agent, req []byte) []byte) PoolConfig {
+	return PoolConfig{
+		Min: 1, Max: 8, MemoryMB: 512,
+		TargetBacklog: 2, ScaleInterval: time.Second,
+		Handler: handler,
+	}
+}
+
+func slowEcho(d time.Duration) func(p *sim.Proc, a *Agent, req []byte) []byte {
+	return func(p *sim.Proc, a *Agent, req []byte) []byte {
+		p.Sleep(d)
+		return req
+	}
+}
+
+func TestPoolConfigValidation(t *testing.T) {
+	f := newFixture(t)
+	bad := []PoolConfig{
+		{Min: 0, Max: 4, MemoryMB: 128, Handler: slowEcho(0)},
+		{Min: 4, Max: 2, MemoryMB: 128, Handler: slowEcho(0)},
+		{Min: 1, Max: 2, MemoryMB: 0, Handler: slowEcho(0)},
+		{Min: 1, Max: 2, MemoryMB: 128, Handler: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := f.pf.NewPool(f.k, "bad", cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestPoolServesRequests(t *testing.T) {
+	f := newFixture(t)
+	pool, err := f.pf.NewPool(f.k, "echo", poolConfig(slowEcho(10*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	f.k.Spawn("client", func(p *sim.Proc) {
+		pr, err := pool.Submit(p, []byte("hi"))
+		if err != nil {
+			t.Errorf("Submit: %v", err)
+			return
+		}
+		got = pr.Get(p)
+		pool.Close()
+	})
+	f.k.RunUntil(sim.Time(time.Minute))
+	if string(got) != "hi" {
+		t.Errorf("response = %q", got)
+	}
+	if pool.Served() != 1 {
+		t.Errorf("Served = %d", pool.Served())
+	}
+}
+
+func TestPoolScalesOutUnderLoad(t *testing.T) {
+	f := newFixture(t)
+	pool, err := f.pf.NewPool(f.k, "busy", poolConfig(slowEcho(200*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const requests = 200
+	donePr := make([]*sim.Promise[[]byte], 0, requests)
+	f.k.Spawn("load", func(p *sim.Proc) {
+		rng := simrand.New(4)
+		for i := 0; i < requests; i++ {
+			pr, err := pool.Submit(p, []byte{byte(i)})
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			donePr = append(donePr, pr)
+			p.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
+		}
+		for _, pr := range donePr {
+			pr.Get(p)
+		}
+		pool.Close()
+	})
+	f.k.RunUntil(sim.Time(10 * time.Minute))
+	if pool.Served() != requests {
+		t.Fatalf("served %d/%d", pool.Served(), requests)
+	}
+	// One agent at 5 req/s cannot keep up with ~100 req/s offered; the
+	// scaler must have grown the fleet.
+	if pool.Peak() < 3 {
+		t.Errorf("peak fleet = %d, want scale-out (>=3)", pool.Peak())
+	}
+	if pool.Peak() > 8 {
+		t.Errorf("peak fleet = %d exceeded Max", pool.Peak())
+	}
+}
+
+func TestPoolScalesBackToMinWhenIdle(t *testing.T) {
+	f := newFixture(t)
+	pool, err := f.pf.NewPool(f.k, "idle", poolConfig(slowEcho(100*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.k.Spawn("burst", func(p *sim.Proc) {
+		var prs []*sim.Promise[[]byte]
+		for i := 0; i < 50; i++ {
+			pr, _ := pool.Submit(p, []byte{1})
+			prs = append(prs, pr)
+		}
+		for _, pr := range prs {
+			pr.Get(p)
+		}
+		// Go idle and let the scaler shrink the fleet.
+		p.Sleep(30 * time.Second)
+		if pool.Size() != 1 {
+			t.Errorf("idle fleet = %d, want Min (1)", pool.Size())
+		}
+		pool.Close()
+	})
+	f.k.RunUntil(sim.Time(5 * time.Minute))
+	if pool.Peak() < 2 {
+		t.Errorf("burst never scaled out (peak %d)", pool.Peak())
+	}
+}
+
+func TestPoolBillsOnlyLiveAgents(t *testing.T) {
+	f := newFixture(t)
+	pool, err := f.pf.NewPool(f.k, "billed", poolConfig(slowEcho(50*time.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.k.Spawn("client", func(p *sim.Proc) {
+		var prs []*sim.Promise[[]byte]
+		for i := 0; i < 40; i++ {
+			pr, _ := pool.Submit(p, []byte{1})
+			prs = append(prs, pr)
+		}
+		for _, pr := range prs {
+			pr.Get(p)
+		}
+		p.Sleep(20 * time.Second) // shrink back
+		pool.Close()
+	})
+	f.k.RunUntil(sim.Time(5 * time.Minute))
+	// Scaled-down agents were stopped and billed; the meter must show
+	// several agent charges (one per stopped agent).
+	if n := f.meter.Count("agent.gbsec"); n < 2 {
+		t.Errorf("agent.gbsec count = %d, want >= 2 (scale-down billed agents)", n)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	f := newFixture(t)
+	pool, err := f.pf.NewPool(f.k, "closed", poolConfig(slowEcho(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitErr error
+	f.k.Spawn("client", func(p *sim.Proc) {
+		pool.Close()
+		pool.Close() // idempotent
+		_, submitErr = pool.Submit(p, []byte{1})
+	})
+	f.k.RunUntil(sim.Time(time.Minute))
+	if submitErr != ErrPoolClosed {
+		t.Errorf("Submit after close: %v", submitErr)
+	}
+}
+
+func TestSLOModeScalesToMeetTarget(t *testing.T) {
+	f := newFixture(t)
+	cfg := poolConfig(slowEcho(200 * time.Millisecond))
+	cfg.Max = 16
+	cfg.TargetLatency = 400 * time.Millisecond
+	pool, err := f.pf.NewPool(f.k, "slo", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offered load of ~40 req/s needs ~8 agents at 5 req/s each; the SLO
+	// controller must find that without a backlog heuristic.
+	const requests = 400
+	var prs []*sim.Promise[[]byte]
+	f.k.Spawn("load", func(p *sim.Proc) {
+		for i := 0; i < requests; i++ {
+			pr, err := pool.Submit(p, []byte{1})
+			if err != nil {
+				t.Errorf("Submit: %v", err)
+				return
+			}
+			prs = append(prs, pr)
+			p.Sleep(25 * time.Millisecond)
+		}
+		for _, pr := range prs {
+			pr.Get(p)
+		}
+		// Steady tail must be at or near the objective.
+		if tail := pool.Tail(); tail > 2*cfg.TargetLatency && tail != 0 {
+			t.Errorf("steady p95 = %v, target %v", tail, cfg.TargetLatency)
+		}
+		pool.Close()
+	})
+	f.k.RunUntil(sim.Time(10 * time.Minute))
+	if pool.Served() != requests {
+		t.Fatalf("served %d/%d", pool.Served(), requests)
+	}
+	if pool.Peak() < 5 {
+		t.Errorf("SLO controller peaked at %d agents, want >= 5", pool.Peak())
+	}
+}
+
+func TestSLOModeShrinksWhenComfortable(t *testing.T) {
+	f := newFixture(t)
+	cfg := poolConfig(slowEcho(20 * time.Millisecond))
+	cfg.Max = 8
+	cfg.TargetLatency = time.Second // trivially met
+	pool, err := f.pf.NewPool(f.k, "slo-idle", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.k.Spawn("load", func(p *sim.Proc) {
+		var prs []*sim.Promise[[]byte]
+		for i := 0; i < 60; i++ {
+			pr, _ := pool.Submit(p, []byte{1})
+			prs = append(prs, pr)
+		}
+		for _, pr := range prs {
+			pr.Get(p)
+		}
+		p.Sleep(30 * time.Second)
+		if pool.Size() != cfg.Min {
+			t.Errorf("comfortable pool size = %d, want Min %d", pool.Size(), cfg.Min)
+		}
+		pool.Close()
+	})
+	f.k.RunUntil(sim.Time(5 * time.Minute))
+}

@@ -1,0 +1,76 @@
+package future
+
+// SLO-driven scaling: §4 argues FaaS should let users state service-level
+// objectives and have the platform size itself to meet them ("FaaS
+// offerings should enable up-front SLOs that are priced accordingly").
+// Setting PoolConfig.TargetLatency switches a pool's scaler from backlog
+// heuristics to an explicit objective: grow while observed tail latency
+// misses the target, shrink while it is comfortably met.
+
+import (
+	"sort"
+	"time"
+)
+
+// sloWindow is how many recent completions the controller considers.
+const sloWindow = 64
+
+// recordLatency feeds one completed request into the SLO window.
+func (p *Pool) recordLatency(d time.Duration) {
+	if p.cfg.TargetLatency <= 0 {
+		return
+	}
+	if len(p.recent) < sloWindow {
+		p.recent = append(p.recent, d)
+	} else {
+		p.recent[p.recentIdx%sloWindow] = d
+	}
+	p.recentIdx++
+}
+
+// tailLatency returns the p95 of the recent window (0 with no samples).
+func (p *Pool) tailLatency() time.Duration {
+	if len(p.recent) == 0 {
+		return 0
+	}
+	tmp := append([]time.Duration(nil), p.recent...)
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	idx := len(tmp) * 95 / 100
+	if idx >= len(tmp) {
+		idx = len(tmp) - 1
+	}
+	return tmp[idx]
+}
+
+// sloDesired computes the fleet size the SLO controller wants.
+func (p *Pool) sloDesired() int {
+	tail := p.tailLatency()
+	switch {
+	case tail == 0 && p.queue.Len() > 0:
+		// No data yet but work is queued: grow cautiously.
+		return p.size + 1
+	case tail > p.cfg.TargetLatency:
+		// Missing the objective: grow proportionally to the miss.
+		factor := float64(tail) / float64(p.cfg.TargetLatency)
+		grow := int(factor)
+		if grow < 1 {
+			grow = 1
+		}
+		return p.size + grow
+	case tail < p.cfg.TargetLatency/2 && p.queue.Len() == 0:
+		// Comfortably under the objective and idle: shrink.
+		return p.size - 1
+	default:
+		return p.size
+	}
+}
+
+// Tail exposes the controller's current p95 estimate (observability hook).
+func (p *Pool) Tail() time.Duration { return p.tailLatency() }
+
+// resetWindow clears stale samples after a scaling action so the next
+// decision reflects the new fleet (prevents oscillation on old data).
+func (p *Pool) resetWindow() {
+	p.recent = p.recent[:0]
+	p.recentIdx = 0
+}

@@ -1,0 +1,118 @@
+package kvstore
+
+// Batch operations and item TTL, mirroring DynamoDB's BatchGetItem /
+// BatchWriteItem (25-item limit, one round trip) and time-to-live
+// expiration. Batching matters to the paper's cost story: it amortizes the
+// per-request round trip but not the per-unit read/write charges, so the
+// blackboard's economics barely move.
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+)
+
+// MaxBatchItems is DynamoDB's batch-operation limit.
+const MaxBatchItems = 25
+
+// ErrBatchTooBig is returned for batches above MaxBatchItems.
+var ErrBatchTooBig = errors.New("kvstore: batch exceeds 25 items")
+
+// BatchGet reads up to 25 keys in one round trip. Missing keys are simply
+// absent from the result (like DynamoDB). Consistency applies per item.
+func (s *Store) BatchGet(p *sim.Proc, caller *netsim.Node, keys []string, consistent bool) (map[string]Item, error) {
+	if len(keys) > MaxBatchItems {
+		return nil, ErrBatchTooBig
+	}
+	s.roundTrip(p, caller, 0)
+	out := make(map[string]Item, len(keys))
+	var units int64
+	for _, key := range keys {
+		rec, ok := s.items[key]
+		if !ok || s.expired(p.Now(), rec) {
+			units += pricing.DynamoReadUnits(0, consistent)
+			continue
+		}
+		it := rec.item
+		if !consistent {
+			var found bool
+			it, found = s.eventualView(p.Now(), rec)
+			if !found {
+				units += pricing.DynamoReadUnits(0, consistent)
+				continue
+			}
+		}
+		units += pricing.DynamoReadUnits(it.Size(), consistent)
+		out[key] = it
+	}
+	s.meter.Charge("dynamodb.read", units, s.catalog.DynamoReadPerUnit)
+	return out, nil
+}
+
+// BatchWrite performs up to 25 puts in one round trip (unconditional, like
+// BatchWriteItem). Returns the stored items keyed by key.
+func (s *Store) BatchWrite(p *sim.Proc, caller *netsim.Node, items map[string][]byte) (map[string]Item, error) {
+	if len(items) > MaxBatchItems {
+		return nil, ErrBatchTooBig
+	}
+	for k, v := range items {
+		if int64(len(k))+int64(len(v)) > MaxItemSize {
+			return nil, ErrItemTooLarge
+		}
+	}
+	s.roundTrip(p, caller, 0)
+	out := make(map[string]Item, len(items))
+	for k, v := range items {
+		size := int64(len(k) + len(v))
+		s.meter.Charge("dynamodb.write", pricing.DynamoWriteUnits(size),
+			s.catalog.DynamoWritePerUnit)
+		rec := s.items[k]
+		var curVer int64
+		var prev *Item
+		if rec != nil {
+			curVer = rec.item.Version
+			prevCopy := rec.item
+			prev = &prevCopy
+		}
+		// Overwrites clear any TTL, like writes that omit the TTL
+		// attribute in DynamoDB.
+		it := Item{Key: k, Value: append([]byte(nil), v...), Version: curVer + 1}
+		s.items[k] = &record{item: it, prev: prev, writtenAt: p.Now()}
+		out[k] = it
+	}
+	return out, nil
+}
+
+// SetTTL sets (or clears, with d <= 0) an expiry on a key, measured from
+// now. Expired items behave as deleted on read and are reaped lazily.
+func (s *Store) SetTTL(p *sim.Proc, caller *netsim.Node, key string, d time.Duration) error {
+	s.roundTrip(p, caller, 0)
+	rec, ok := s.items[key]
+	if !ok {
+		return ErrNotFound
+	}
+	s.meter.Charge("dynamodb.write", pricing.DynamoWriteUnits(rec.item.Size()),
+		s.catalog.DynamoWritePerUnit)
+	if d <= 0 {
+		rec.expiresAt = 0
+		return nil
+	}
+	rec.expiresAt = p.Now() + sim.Time(d)
+	return nil
+}
+
+// expired reports whether rec is past its TTL at time now, deleting it
+// lazily when so.
+func (s *Store) expired(now sim.Time, rec *record) bool {
+	if rec.expiresAt > 0 && now >= rec.expiresAt {
+		delete(s.items, rec.item.Key)
+		return true
+	}
+	return false
+}
+
+// recordMap is the store's item index.
+type recordMap map[string]*record

@@ -1,0 +1,175 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestBatchWriteAndGet(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var got map[string]Item
+	f.k.Spawn("c", func(p *sim.Proc) {
+		items := map[string][]byte{"a": []byte("1"), "b": []byte("2"), "c": []byte("3")}
+		if _, err := f.store.BatchWrite(p, f.caller, items); err != nil {
+			t.Errorf("BatchWrite: %v", err)
+			return
+		}
+		var err error
+		got, err = f.store.BatchGet(p, f.caller, []string{"a", "b", "c", "missing"}, true)
+		if err != nil {
+			t.Errorf("BatchGet: %v", err)
+		}
+	})
+	f.k.Run()
+	if len(got) != 3 {
+		t.Fatalf("BatchGet returned %d items, want 3", len(got))
+	}
+	if string(got["b"].Value) != "2" {
+		t.Errorf("got[b] = %q", got["b"].Value)
+	}
+	if _, present := got["missing"]; present {
+		t.Error("missing key present in batch result")
+	}
+}
+
+func TestBatchLimits(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var getErr, writeErr, sizeErr error
+	f.k.Spawn("c", func(p *sim.Proc) {
+		keys := make([]string, MaxBatchItems+1)
+		items := make(map[string][]byte, MaxBatchItems+1)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%02d", i)
+			items[keys[i]] = []byte("v")
+		}
+		_, getErr = f.store.BatchGet(p, f.caller, keys, true)
+		_, writeErr = f.store.BatchWrite(p, f.caller, items)
+		_, sizeErr = f.store.BatchWrite(p, f.caller,
+			map[string][]byte{"big": make([]byte, MaxItemSize+1)})
+	})
+	f.k.Run()
+	if !errors.Is(getErr, ErrBatchTooBig) || !errors.Is(writeErr, ErrBatchTooBig) {
+		t.Errorf("batch limit errors: %v, %v", getErr, writeErr)
+	}
+	if !errors.Is(sizeErr, ErrItemTooLarge) {
+		t.Errorf("oversize item error: %v", sizeErr)
+	}
+}
+
+func TestBatchIsOneRoundTrip(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var batched, single sim.Time
+	f.k.Spawn("c", func(p *sim.Proc) {
+		items := map[string][]byte{}
+		for i := 0; i < 20; i++ {
+			items[fmt.Sprintf("k%02d", i)] = []byte("v")
+		}
+		start := p.Now()
+		f.store.BatchWrite(p, f.caller, items)
+		batched = p.Now() - start
+		start = p.Now()
+		for k, v := range items {
+			f.store.Put(p, f.caller, k, v)
+		}
+		single = p.Now() - start
+	})
+	f.k.Run()
+	if batched*10 > single {
+		t.Errorf("batch (%v) should be ~20x cheaper than singles (%v)", batched, single)
+	}
+}
+
+func TestBatchWriteBumpsVersions(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.store.Put(p, f.caller, "k", []byte("v1"))
+		out, err := f.store.BatchWrite(p, f.caller, map[string][]byte{"k": []byte("v2")})
+		if err != nil {
+			t.Errorf("BatchWrite: %v", err)
+			return
+		}
+		if out["k"].Version != 2 {
+			t.Errorf("version = %d, want 2", out["k"].Version)
+		}
+	})
+	f.k.Run()
+}
+
+func TestTTLExpiresItems(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.store.Put(p, f.caller, "ephemeral", []byte("v"))
+		if err := f.store.SetTTL(p, f.caller, "ephemeral", 10*time.Second); err != nil {
+			t.Errorf("SetTTL: %v", err)
+			return
+		}
+		if _, err := f.store.Get(p, f.caller, "ephemeral", true); err != nil {
+			t.Errorf("read before expiry: %v", err)
+		}
+		p.Sleep(15 * time.Second)
+		if _, err := f.store.Get(p, f.caller, "ephemeral", true); !errors.Is(err, ErrNotFound) {
+			t.Errorf("read after expiry: %v, want ErrNotFound", err)
+		}
+	})
+	f.k.Run()
+}
+
+func TestTTLClearedByZero(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.store.Put(p, f.caller, "k", []byte("v"))
+		f.store.SetTTL(p, f.caller, "k", 5*time.Second)
+		f.store.SetTTL(p, f.caller, "k", 0) // clear
+		p.Sleep(time.Minute)
+		if _, err := f.store.Get(p, f.caller, "k", true); err != nil {
+			t.Errorf("item with cleared TTL expired: %v", err)
+		}
+	})
+	f.k.Run()
+}
+
+func TestTTLOnMissingKey(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var err error
+	f.k.Spawn("c", func(p *sim.Proc) {
+		err = f.store.SetTTL(p, f.caller, "nope", time.Second)
+	})
+	f.k.Run()
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("SetTTL on missing key: %v", err)
+	}
+}
+
+func TestScanSkipsExpired(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var items []Item
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.store.Put(p, f.caller, "s/keep", []byte("v"))
+		f.store.Put(p, f.caller, "s/drop", []byte("v"))
+		f.store.SetTTL(p, f.caller, "s/drop", 5*time.Second)
+		p.Sleep(time.Minute)
+		items = f.store.Scan(p, f.caller, "s/")
+	})
+	f.k.Run()
+	if len(items) != 1 || items[0].Key != "s/keep" {
+		t.Errorf("Scan = %+v, want only s/keep", items)
+	}
+}
+
+func TestOverwriteClearsTTL(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.store.Put(p, f.caller, "k", []byte("v1"))
+		f.store.SetTTL(p, f.caller, "k", 5*time.Second)
+		f.store.Put(p, f.caller, "k", []byte("v2")) // TTL gone
+		p.Sleep(time.Minute)
+		if _, err := f.store.Get(p, f.caller, "k", true); err != nil {
+			t.Errorf("overwritten item expired: %v", err)
+		}
+	})
+	f.k.Run()
+}

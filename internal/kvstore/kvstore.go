@@ -1,0 +1,241 @@
+// Package kvstore simulates a DynamoDB-style key-value service: single-item
+// reads and writes with millisecond latency, conditional writes, prefix
+// scans, a 400KB item-size limit, strongly or eventually consistent reads,
+// and on-demand request-unit metering.
+//
+// It is the "blackboard" medium the paper's leader-election case study
+// forces all communication through, and one of the two storage columns in
+// Table 1 (11 ms for a 1KB write+read pair).
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// MaxItemSize is the DynamoDB item-size limit.
+const MaxItemSize = 400 * 1024
+
+// ErrNotFound is returned when a key is absent.
+var ErrNotFound = errors.New("kvstore: key not found")
+
+// ErrConditionFailed is returned when a conditional write's precondition
+// does not hold.
+var ErrConditionFailed = errors.New("kvstore: condition failed")
+
+// ErrItemTooLarge is returned for values above MaxItemSize.
+var ErrItemTooLarge = errors.New("kvstore: item exceeds 400KB limit")
+
+// Item is a stored key-value pair. Version increases by one on every
+// successful write of the key (1 on first write).
+type Item struct {
+	Key     string
+	Value   []byte
+	Version int64
+}
+
+// Size returns the item's billable size (key + value bytes).
+func (it Item) Size() int64 { return int64(len(it.Key) + len(it.Value)) }
+
+// Config holds service-level parameters.
+type Config struct {
+	// OpLatency is per-request service time. The paper measures a 1KB
+	// write+read pair at 11 ms from both Lambda and EC2, so the default
+	// median is ~4.2 ms per operation (plus network round trip).
+	OpLatency simrand.Dist
+
+	// ScanPerItem adds service time per item touched by a Scan.
+	ScanPerItem time.Duration
+
+	// ReplicationLag, when positive, makes eventually consistent reads
+	// able to return the previous version of a recently written key.
+	ReplicationLag time.Duration
+
+	// NICBps is the front end's aggregate network capacity.
+	NICBps netsim.Bps
+}
+
+// DefaultConfig returns the calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		OpLatency:      simrand.LogNormal{Median: 4150 * time.Microsecond, Sigma: 0.12},
+		ScanPerItem:    3 * time.Microsecond,
+		ReplicationLag: 50 * time.Millisecond,
+		NICBps:         netsim.Gbps(400),
+	}
+}
+
+type record struct {
+	item      Item
+	prev      *Item // previous version, for eventual reads
+	writtenAt sim.Time
+	expiresAt sim.Time // 0 = no TTL
+}
+
+// Store is a simulated key-value table.
+type Store struct {
+	name    string
+	net     *netsim.Network
+	node    *netsim.Node
+	rng     *simrand.RNG
+	cfg     Config
+	catalog *pricing.Catalog
+	meter   *pricing.Meter
+	items   recordMap
+}
+
+// New creates a table attached to the network in rack `rack`.
+func New(name string, net *netsim.Network, rack int, rng *simrand.RNG,
+	cfg Config, catalog *pricing.Catalog, meter *pricing.Meter) *Store {
+	return &Store{
+		name:    name,
+		net:     net,
+		node:    net.NewNode(name, rack, cfg.NICBps),
+		rng:     rng,
+		cfg:     cfg,
+		catalog: catalog,
+		meter:   meter,
+		items:   make(map[string]*record),
+	}
+}
+
+// Node returns the table's network endpoint.
+func (s *Store) Node() *netsim.Node { return s.node }
+
+func (s *Store) roundTrip(p *sim.Proc, caller *netsim.Node, extra time.Duration) {
+	p.Sleep(s.net.OneWayDelay(caller, s.node))
+	p.Sleep(s.cfg.OpLatency.Sample(s.rng) + extra)
+	p.Sleep(s.net.OneWayDelay(s.node, caller))
+}
+
+// Get reads a key. With consistent=false the read is eventually consistent:
+// within the replication-lag window of a write it may return the previous
+// version (or miss a brand-new key). Metering follows DynamoDB on-demand
+// read units (half units for eventual reads).
+func (s *Store) Get(p *sim.Proc, caller *netsim.Node, key string, consistent bool) (Item, error) {
+	s.roundTrip(p, caller, 0)
+	rec, ok := s.items[key]
+	if ok && s.expired(p.Now(), rec) {
+		ok = false
+	}
+	var it Item
+	var found bool
+	switch {
+	case !ok:
+		found = false
+	case consistent:
+		it, found = rec.item, true
+	default:
+		it, found = s.eventualView(p.Now(), rec)
+	}
+	size := int64(0)
+	if found {
+		size = it.Size()
+	}
+	s.meter.Charge("dynamodb.read", pricing.DynamoReadUnits(size, consistent),
+		s.catalog.DynamoReadPerUnit)
+	if !found {
+		return Item{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return it, nil
+}
+
+// eventualView resolves what an eventually consistent read of rec observes.
+func (s *Store) eventualView(now sim.Time, rec *record) (Item, bool) {
+	if s.cfg.ReplicationLag <= 0 || now-rec.writtenAt >= s.cfg.ReplicationLag {
+		return rec.item, true
+	}
+	remain := float64(s.cfg.ReplicationLag-(now-rec.writtenAt)) / float64(s.cfg.ReplicationLag)
+	if s.rng.Float64() < remain {
+		if rec.prev == nil {
+			return Item{}, false // key did not exist on the lagging replica
+		}
+		return *rec.prev, true
+	}
+	return rec.item, true
+}
+
+// Put writes key unconditionally and returns the stored item.
+func (s *Store) Put(p *sim.Proc, caller *netsim.Node, key string, value []byte) (Item, error) {
+	return s.write(p, caller, key, value, nil)
+}
+
+// ConditionalPut writes key only if its current version equals
+// expectVersion (0 means "key must not exist"). On mismatch it returns
+// ErrConditionFailed. This is the primitive the bully election's blackboard
+// uses to claim coordinatorship atomically.
+func (s *Store) ConditionalPut(p *sim.Proc, caller *netsim.Node, key string,
+	value []byte, expectVersion int64) (Item, error) {
+	return s.write(p, caller, key, value, &expectVersion)
+}
+
+func (s *Store) write(p *sim.Proc, caller *netsim.Node, key string,
+	value []byte, expect *int64) (Item, error) {
+	if int64(len(key))+int64(len(value)) > MaxItemSize {
+		return Item{}, ErrItemTooLarge
+	}
+	s.roundTrip(p, caller, 0)
+	size := int64(len(key) + len(value))
+	s.meter.Charge("dynamodb.write", pricing.DynamoWriteUnits(size),
+		s.catalog.DynamoWritePerUnit)
+	rec := s.items[key]
+	var curVer int64
+	if rec != nil {
+		curVer = rec.item.Version
+	}
+	if expect != nil && *expect != curVer {
+		return Item{}, fmt.Errorf("%w: %q at version %d, expected %d",
+			ErrConditionFailed, key, curVer, *expect)
+	}
+	it := Item{Key: key, Value: append([]byte(nil), value...), Version: curVer + 1}
+	var prev *Item
+	if rec != nil {
+		prevCopy := rec.item
+		prev = &prevCopy
+	}
+	s.items[key] = &record{item: it, prev: prev, writtenAt: p.Now()}
+	return it, nil
+}
+
+// Delete removes a key; deleting a missing key is not an error.
+func (s *Store) Delete(p *sim.Proc, caller *netsim.Node, key string) {
+	s.roundTrip(p, caller, 0)
+	var size int64 = 0
+	if rec, ok := s.items[key]; ok {
+		size = rec.item.Size()
+	}
+	s.meter.Charge("dynamodb.write", pricing.DynamoWriteUnits(size),
+		s.catalog.DynamoWritePerUnit)
+	delete(s.items, key)
+}
+
+// Scan returns all items whose keys start with prefix, sorted by key,
+// always strongly consistent. Read units are charged on the total bytes
+// scanned — this is what makes fine-grained polling of a large blackboard
+// so expensive in the election case study.
+func (s *Store) Scan(p *sim.Proc, caller *netsim.Node, prefix string) []Item {
+	var out []Item
+	var bytes int64
+	for k, rec := range s.items {
+		if strings.HasPrefix(k, prefix) && !s.expired(p.Now(), rec) {
+			out = append(out, rec.item)
+			bytes += rec.item.Size()
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	s.roundTrip(p, caller, time.Duration(len(out))*s.cfg.ScanPerItem)
+	s.meter.Charge("dynamodb.read", pricing.DynamoReadUnits(bytes, true),
+		s.catalog.DynamoReadPerUnit)
+	return out
+}
+
+// Len reports the number of stored keys (test hook; no simulated latency).
+func (s *Store) Len() int { return len(s.items) }

@@ -1,0 +1,105 @@
+// Package loadgen provides open-loop workload generators for the simulated
+// cloud: Poisson and bursty arrival processes that submit requests on their
+// own schedule regardless of completion times, which is what exposes
+// queueing collapse in fixed-capacity systems and lets autoscaling show its
+// value — the paper's "one step forward".
+package loadgen
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// Arrivals is an arrival process: Next returns the gap before the next
+// request.
+type Arrivals interface {
+	Next(rng *simrand.RNG) time.Duration
+}
+
+// Poisson is a memoryless arrival process at Rate requests/second.
+type Poisson struct {
+	Rate float64
+}
+
+// Next implements Arrivals.
+func (p Poisson) Next(rng *simrand.RNG) time.Duration {
+	if p.Rate <= 0 {
+		panic("loadgen: non-positive rate")
+	}
+	return time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Second))
+}
+
+// Uniform emits requests at a fixed interval (closed-form open loop).
+type Uniform struct {
+	Interval time.Duration
+}
+
+// Next implements Arrivals.
+func (u Uniform) Next(*simrand.RNG) time.Duration { return u.Interval }
+
+// Burst alternates between an On process and silence, modeling diurnal or
+// flash-crowd traffic.
+type Burst struct {
+	On       Arrivals
+	OnFor    time.Duration
+	OffFor   time.Duration
+	phaseEnd time.Duration
+	inOff    bool
+	elapsed  time.Duration
+}
+
+// Next implements Arrivals.
+func (b *Burst) Next(rng *simrand.RNG) time.Duration {
+	gap := b.On.Next(rng)
+	b.elapsed += gap
+	if !b.inOff && b.elapsed >= b.OnFor {
+		b.inOff = true
+		b.elapsed = 0
+		return gap + b.OffFor
+	}
+	if b.inOff && b.elapsed >= 0 {
+		b.inOff = false
+	}
+	return gap
+}
+
+// Generator drives an arrival process for a fixed duration, invoking submit
+// once per arrival. Submissions run in their own processes (open loop): a
+// slow backend does not slow the generator down.
+type Generator struct {
+	rng      *simrand.RNG
+	arrivals Arrivals
+
+	// Submitted counts requests issued.
+	Submitted int
+}
+
+// New creates a generator.
+func New(rng *simrand.RNG, arrivals Arrivals) *Generator {
+	return &Generator{rng: rng, arrivals: arrivals}
+}
+
+// Run spawns the generation loop on k for `for_` of virtual time, calling
+// submit(p, seq) in a fresh process per request. It returns a latch that
+// releases when the generation window ends (in-flight requests may still be
+// running; callers track completion themselves).
+func (g *Generator) Run(k *sim.Kernel, for_ time.Duration, submit func(p *sim.Proc, seq int)) *sim.Latch {
+	doneGen := &sim.Latch{}
+	k.Spawn("loadgen", func(p *sim.Proc) {
+		end := p.Now() + sim.Time(for_)
+		for {
+			gap := g.arrivals.Next(g.rng)
+			if p.Now()+sim.Time(gap) >= end {
+				break
+			}
+			p.Sleep(gap)
+			seq := g.Submitted
+			g.Submitted++
+			p.Spawn("req", func(rp *sim.Proc) { submit(rp, seq) })
+		}
+		doneGen.Release()
+	})
+	return doneGen
+}

@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+func TestPoissonMeanRate(t *testing.T) {
+	rng := simrand.New(1)
+	p := Poisson{Rate: 100}
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += p.Next(rng)
+	}
+	mean := sum.Seconds() / n
+	if math.Abs(mean-0.01) > 0.0005 {
+		t.Errorf("mean gap = %vs, want ~0.01s at 100/s", mean)
+	}
+}
+
+func TestPoissonZeroRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate did not panic")
+		}
+	}()
+	Poisson{}.Next(simrand.New(1))
+}
+
+func TestUniformInterval(t *testing.T) {
+	u := Uniform{Interval: 50 * time.Millisecond}
+	if got := u.Next(nil); got != 50*time.Millisecond {
+		t.Errorf("Next = %v", got)
+	}
+}
+
+func TestBurstAlternates(t *testing.T) {
+	rng := simrand.New(3)
+	b := &Burst{On: Uniform{Interval: 10 * time.Millisecond},
+		OnFor: 100 * time.Millisecond, OffFor: time.Second}
+	sawLongGap := false
+	for i := 0; i < 100; i++ {
+		if b.Next(rng) >= time.Second {
+			sawLongGap = true
+		}
+	}
+	if !sawLongGap {
+		t.Error("burst process never went quiet")
+	}
+}
+
+func TestGeneratorOpenLoop(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	g := New(simrand.New(7), Uniform{Interval: 10 * time.Millisecond})
+	completed := 0
+	done := g.Run(k, time.Second, func(p *sim.Proc, seq int) {
+		// Slow backend: takes far longer than the arrival gap. Open
+		// loop means arrivals keep coming anyway.
+		p.Sleep(500 * time.Millisecond)
+		completed++
+	})
+	k.Spawn("watch", func(p *sim.Proc) { done.Wait(p) })
+	k.Run()
+	// ~99 arrivals in 1s at 10ms gaps.
+	if g.Submitted < 90 || g.Submitted > 101 {
+		t.Errorf("Submitted = %d, want ~99 (open loop)", g.Submitted)
+	}
+	if completed != g.Submitted {
+		t.Errorf("completed %d of %d after drain", completed, g.Submitted)
+	}
+}
+
+func TestGeneratorSequencesAreUnique(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	g := New(simrand.New(9), Poisson{Rate: 200})
+	seen := map[int]bool{}
+	g.Run(k, 500*time.Millisecond, func(p *sim.Proc, seq int) {
+		if seen[seq] {
+			t.Errorf("duplicate seq %d", seq)
+		}
+		seen[seq] = true
+	})
+	k.Run()
+	if len(seen) == 0 {
+		t.Fatal("no requests generated")
+	}
+}

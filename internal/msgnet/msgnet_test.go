@@ -1,0 +1,248 @@
+package msgnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+type fixture struct {
+	k    *sim.Kernel
+	mesh *Mesh
+	a, b *Endpoint
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	k := sim.NewKernel()
+	t.Cleanup(k.Close)
+	rng := simrand.New(3)
+	net := netsim.NewNetwork(k, rng.Fork(), netsim.DefaultLatency())
+	mesh := NewMesh(net, rng.Fork())
+	// Two EC2-class nodes in the same rack, like the paper's ZeroMQ test.
+	a := mesh.Endpoint("a", net.NewNode("vm-a", 0, netsim.Gbps(10)))
+	b := mesh.Endpoint("b", net.NewNode("vm-b", 0, netsim.Gbps(10)))
+	return &fixture{k: k, mesh: mesh, a: a, b: b}
+}
+
+func TestSendRecv(t *testing.T) {
+	f := newFixture(t)
+	var got Packet
+	f.k.Spawn("receiver", func(p *sim.Proc) {
+		got, _ = f.b.Recv(p)
+	})
+	f.k.Spawn("sender", func(p *sim.Proc) {
+		if err := f.a.Send(p, "b", []byte("hi")); err != nil {
+			t.Errorf("Send: %v", err)
+		}
+	})
+	f.k.Run()
+	if got.From != "a" || string(got.Payload) != "hi" || got.IsCall() {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	f := newFixture(t)
+	var err error
+	f.k.Spawn("sender", func(p *sim.Proc) {
+		err = f.a.Send(p, "ghost", []byte("x"))
+	})
+	f.k.Run()
+	if !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Calibration: a 1KB acked round trip between same-rack nodes should match
+// Table 1's ZeroMQ figure of ~290µs (averaged over 10k trials, like the
+// paper).
+func TestCallRoundTripMatchesPaper(t *testing.T) {
+	f := newFixture(t)
+	f.b.Serve(func(p *sim.Proc, pk Packet) []byte { return []byte("ack") })
+	const trials = 10000
+	var total sim.Time
+	f.k.Spawn("caller", func(p *sim.Proc) {
+		payload := make([]byte, 1024)
+		for i := 0; i < trials; i++ {
+			start := p.Now()
+			if _, err := f.a.Call(p, "b", payload, 0); err != nil {
+				t.Errorf("Call: %v", err)
+				return
+			}
+			total += p.Now() - start
+		}
+	})
+	f.k.Run()
+	mean := time.Duration(int64(total) / trials)
+	if mean < 270*time.Microsecond || mean > 310*time.Microsecond {
+		t.Errorf("1KB Call mean = %v, paper reports 290µs", mean)
+	}
+}
+
+func TestCallTimesOut(t *testing.T) {
+	f := newFixture(t)
+	// b never serves; a's call must time out.
+	var err error
+	var at sim.Time
+	f.k.Spawn("caller", func(p *sim.Proc) {
+		_, err = f.a.Call(p, "b", []byte("x"), 2*time.Second)
+		at = p.Now()
+	})
+	f.k.Run()
+	if err == nil {
+		t.Fatal("Call with unresponsive peer did not fail")
+	}
+	if at < 2*time.Second || at > 2*time.Second+time.Millisecond {
+		t.Errorf("timeout at %v, want ~2s", at)
+	}
+}
+
+func TestLateReplyAfterTimeoutIsDropped(t *testing.T) {
+	f := newFixture(t)
+	f.b.Serve(func(p *sim.Proc, pk Packet) []byte {
+		p.Sleep(5 * time.Second) // reply long after caller's timeout
+		return []byte("late")
+	})
+	var err error
+	f.k.Spawn("caller", func(p *sim.Proc) {
+		_, err = f.a.Call(p, "b", []byte("x"), time.Second)
+		p.Sleep(10 * time.Second) // outlive the late reply
+	})
+	f.k.Run()
+	if err == nil {
+		t.Error("Call should have timed out")
+	}
+	if f.a.inbox.Len() != 0 {
+		t.Error("late reply leaked into inbox")
+	}
+}
+
+func TestRequestReplyCorrelation(t *testing.T) {
+	f := newFixture(t)
+	f.b.Serve(func(p *sim.Proc, pk Packet) []byte {
+		// Echo with a per-request suffix and variable service time so
+		// replies to concurrent calls come back out of order.
+		d := time.Duration(10-len(pk.Payload)) * time.Millisecond
+		p.Sleep(d)
+		return append([]byte("re:"), pk.Payload...)
+	})
+	results := map[string]string{}
+	var wg sim.WaitGroup
+	for _, msg := range []string{"longer-one", "mid", "x"} {
+		msg := msg
+		wg.Add(1)
+		f.k.Spawn("caller", func(p *sim.Proc) {
+			defer wg.Done()
+			reply, err := f.a.Call(p, "b", []byte(msg), 0)
+			if err != nil {
+				t.Errorf("Call(%q): %v", msg, err)
+				return
+			}
+			results[msg] = string(reply)
+		})
+	}
+	f.k.Run()
+	for _, msg := range []string{"longer-one", "mid", "x"} {
+		if results[msg] != "re:"+msg {
+			t.Errorf("reply for %q = %q", msg, results[msg])
+		}
+	}
+}
+
+func TestServeAnswersOneWayWithoutReply(t *testing.T) {
+	f := newFixture(t)
+	served := 0
+	f.b.Serve(func(p *sim.Proc, pk Packet) []byte {
+		served++
+		return nil
+	})
+	f.k.Spawn("sender", func(p *sim.Proc) {
+		f.a.Send(p, "b", []byte("oneway"))
+		p.Sleep(time.Second)
+	})
+	f.k.Run()
+	if served != 1 {
+		t.Errorf("served = %d, want 1", served)
+	}
+}
+
+func TestCloseUnregistersAndDrops(t *testing.T) {
+	f := newFixture(t)
+	f.k.Spawn("closer", func(p *sim.Proc) {
+		f.b.Close()
+		f.b.Close() // idempotent
+		if err := f.a.Send(p, "b", []byte("x")); !errors.Is(err, ErrUnknownPeer) {
+			t.Errorf("Send to closed peer: %v", err)
+		}
+		if err := f.a.Send(p, "a", nil); err != nil {
+			t.Errorf("self-send: %v", err)
+		}
+	})
+	f.k.Run()
+	if f.mesh.Lookup("b") != nil {
+		t.Error("closed endpoint still registered")
+	}
+	if f.mesh.Lookup("a") != f.a {
+		t.Error("live endpoint lookup failed")
+	}
+}
+
+func TestClosePendingCallFails(t *testing.T) {
+	f := newFixture(t)
+	var err error
+	f.k.Spawn("caller", func(p *sim.Proc) {
+		_, err = f.a.Call(p, "b", []byte("x"), 0)
+	})
+	f.k.Spawn("closer", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		f.a.Close()
+	})
+	f.k.Run()
+	if err == nil {
+		t.Error("pending Call should fail when endpoint closes")
+	}
+}
+
+func TestInFlightMessageToClosingPeerIsDropped(t *testing.T) {
+	f := newFixture(t)
+	f.k.Spawn("sender", func(p *sim.Proc) {
+		f.a.Send(p, "b", []byte("x"))
+		f.b.Close() // before delivery
+		p.Sleep(time.Second)
+	})
+	f.k.Run() // must not panic on delivery to closed endpoint
+}
+
+func TestLargeMessageTakesSerializationTime(t *testing.T) {
+	f := newFixture(t)
+	f.b.Serve(func(p *sim.Proc, pk Packet) []byte { return []byte{1} })
+	var small, large sim.Time
+	f.k.Spawn("caller", func(p *sim.Proc) {
+		start := p.Now()
+		f.a.Call(p, "b", make([]byte, 1024), 0)
+		small = p.Now() - start
+		start = p.Now()
+		f.a.Call(p, "b", make([]byte, 10*1024*1024), 0)
+		large = p.Now() - start
+	})
+	f.k.Run()
+	// 10MB at 10Gbps is 8ms of serialization; must dominate the RTT.
+	if large < small+7*time.Millisecond {
+		t.Errorf("10MB call = %v vs 1KB call = %v; serialization not modeled", large, small)
+	}
+}
+
+func TestDuplicateEndpointPanics(t *testing.T) {
+	f := newFixture(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate endpoint did not panic")
+		}
+	}()
+	f.mesh.Endpoint("a", f.a.Node())
+}

@@ -1,0 +1,113 @@
+package msgnet
+
+// Topic-based publish/subscribe over the mesh — one of the virtual
+// addressing mechanisms §4 cites (the Information Bus, tuplespaces, DHTs)
+// for decoupling senders from the physical location of receivers. A topic
+// is a named fan-out point: publishers address the topic, subscribers are
+// ordinary endpoints, and delivery is a message per subscriber with normal
+// network latency.
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ErrNoTopic is returned when publishing to an unknown topic.
+var ErrNoTopic = errors.New("msgnet: unknown topic")
+
+// Topic is a named fan-out point.
+type Topic struct {
+	mesh *Mesh
+	name string
+	subs map[string]*Endpoint
+}
+
+// CreateTopic creates (or returns) a topic.
+func (m *Mesh) CreateTopic(name string) *Topic {
+	if m.topics == nil {
+		m.topics = make(map[string]*Topic)
+	}
+	if t, ok := m.topics[name]; ok {
+		return t
+	}
+	t := &Topic{mesh: m, name: name, subs: make(map[string]*Endpoint)}
+	m.topics[name] = t
+	return t
+}
+
+// Topic looks up a topic, returning nil if absent.
+func (m *Mesh) Topic(name string) *Topic {
+	return m.topics[name]
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Subscribers reports the number of live subscriptions.
+func (t *Topic) Subscribers() int {
+	t.prune()
+	return len(t.subs)
+}
+
+// Subscribe adds an endpoint to the topic. Subscribing twice is a no-op.
+func (t *Topic) Subscribe(ep *Endpoint) {
+	if !ep.Closed() {
+		t.subs[ep.Name()] = ep
+	}
+}
+
+// Unsubscribe removes an endpoint (by identity; closed endpoints are also
+// pruned automatically).
+func (t *Topic) Unsubscribe(ep *Endpoint) {
+	if cur, ok := t.subs[ep.Name()]; ok && cur == ep {
+		delete(t.subs, ep.Name())
+	}
+}
+
+// prune drops closed endpoints.
+func (t *Topic) prune() {
+	for name, ep := range t.subs {
+		if ep.Closed() {
+			delete(t.subs, name)
+		}
+	}
+}
+
+// Publish fans payload out to every subscriber from the given endpoint,
+// blocking the publisher only for per-message send overhead. It returns
+// the number of subscribers addressed.
+func (t *Topic) Publish(p *sim.Proc, from *Endpoint, payload []byte) (int, error) {
+	if from.Closed() {
+		return 0, ErrClosed
+	}
+	t.prune()
+	n := 0
+	for _, ep := range t.subs {
+		dst := ep
+		p.Sleep(softwareOverhead)
+		pk := Packet{
+			From:    from.name,
+			To:      dst.name,
+			Payload: append([]byte(nil), payload...),
+		}
+		delay := t.mesh.deliveryDelay(from.node, dst.node, len(payload))
+		p.Kernel().After(delay, func() { dst.deliver(pk) })
+		n++
+	}
+	return n, nil
+}
+
+// PublishEvery spawns a process that publishes the result of produce on a
+// fixed period until the source endpoint closes (a heartbeat/feed helper).
+func (t *Topic) PublishEvery(from *Endpoint, period time.Duration, produce func() []byte) {
+	t.mesh.net.Kernel().Spawn(t.name+"/feed", func(p *sim.Proc) {
+		for !from.Closed() {
+			if _, err := t.Publish(p, from, produce()); err != nil {
+				return
+			}
+			p.Sleep(period)
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package msgnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+func TestPublishFansOut(t *testing.T) {
+	f := newFixture(t)
+	topic := f.mesh.CreateTopic("events")
+	c := f.mesh.Endpoint("c", f.a.Node())
+	topic.Subscribe(f.b)
+	topic.Subscribe(c)
+	topic.Subscribe(c) // duplicate: no-op
+
+	var got []string
+	for _, ep := range []*Endpoint{f.b, c} {
+		ep := ep
+		f.k.Spawn("sub", func(p *sim.Proc) {
+			pk, err := ep.Recv(p)
+			if err == nil {
+				got = append(got, ep.Name()+":"+string(pk.Payload))
+			}
+		})
+	}
+	var n int
+	f.k.Spawn("pub", func(p *sim.Proc) {
+		var err error
+		n, err = topic.Publish(p, f.a, []byte("tick"))
+		if err != nil {
+			t.Errorf("Publish: %v", err)
+		}
+	})
+	f.k.Run()
+	if n != 2 {
+		t.Errorf("Publish addressed %d subscribers, want 2", n)
+	}
+	if len(got) != 2 {
+		t.Errorf("deliveries = %v", got)
+	}
+}
+
+func TestPublisherNotSubscribedReceivesNothing(t *testing.T) {
+	f := newFixture(t)
+	topic := f.mesh.CreateTopic("events")
+	topic.Subscribe(f.b)
+	f.k.Spawn("pub", func(p *sim.Proc) {
+		topic.Publish(p, f.a, []byte("x"))
+		p.Sleep(time.Second)
+	})
+	f.k.Run()
+	if _, ok := f.a.TryRecv(); ok {
+		t.Error("publisher received its own message without subscribing")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	f := newFixture(t)
+	topic := f.mesh.CreateTopic("events")
+	topic.Subscribe(f.b)
+	topic.Unsubscribe(f.b)
+	f.k.Spawn("pub", func(p *sim.Proc) {
+		n, _ := topic.Publish(p, f.a, []byte("x"))
+		if n != 0 {
+			t.Errorf("published to %d after unsubscribe", n)
+		}
+	})
+	f.k.Run()
+}
+
+func TestClosedSubscribersPruned(t *testing.T) {
+	f := newFixture(t)
+	topic := f.mesh.CreateTopic("events")
+	topic.Subscribe(f.b)
+	f.b.Close()
+	if topic.Subscribers() != 0 {
+		t.Errorf("Subscribers = %d after close", topic.Subscribers())
+	}
+}
+
+func TestCreateTopicIdempotentAndLookup(t *testing.T) {
+	f := newFixture(t)
+	a := f.mesh.CreateTopic("t")
+	b := f.mesh.CreateTopic("t")
+	if a != b {
+		t.Error("CreateTopic not idempotent")
+	}
+	if f.mesh.Topic("t") != a || f.mesh.Topic("missing") != nil {
+		t.Error("Topic lookup wrong")
+	}
+}
+
+func TestPublishFromClosedEndpoint(t *testing.T) {
+	f := newFixture(t)
+	topic := f.mesh.CreateTopic("t")
+	f.a.Close()
+	var err error
+	f.k.Spawn("pub", func(p *sim.Proc) {
+		_, err = topic.Publish(p, f.a, []byte("x"))
+	})
+	f.k.Run()
+	if err != ErrClosed {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPublishEveryFeedsUntilClose(t *testing.T) {
+	f := newFixture(t)
+	topic := f.mesh.CreateTopic("feed")
+	topic.Subscribe(f.b)
+	seq := 0
+	topic.PublishEvery(f.a, 100*time.Millisecond, func() []byte {
+		seq++
+		return []byte{byte(seq)}
+	})
+	received := 0
+	f.k.Spawn("sub", func(p *sim.Proc) {
+		for {
+			if _, err := f.b.Recv(p); err != nil {
+				return
+			}
+			received++
+		}
+	})
+	f.k.Spawn("stopper", func(p *sim.Proc) {
+		p.Sleep(time.Second)
+		f.a.Close()
+		p.Sleep(time.Second)
+		f.b.Close()
+	})
+	f.k.RunUntil(sim.Time(5 * time.Second))
+	if received < 8 || received > 12 {
+		t.Errorf("received %d feed messages over 1s at 10Hz", received)
+	}
+}
+
+func TestPubSubDeliveryLatencyIsNetworkLatency(t *testing.T) {
+	f := newFixture(t)
+	topic := f.mesh.CreateTopic("t")
+	// Subscriber in another rack.
+	k := f.k
+	net := f.a.mesh.net
+	far := f.mesh.Endpoint("far", net.NewNode("far-node", 3, netsim.Gbps(10)))
+	topic.Subscribe(far)
+	var at sim.Time
+	k.Spawn("sub", func(p *sim.Proc) {
+		far.Recv(p)
+		at = p.Now()
+	})
+	k.Spawn("pub", func(p *sim.Proc) {
+		topic.Publish(p, f.a, []byte("x"))
+	})
+	k.Run()
+	if at < 500*time.Microsecond || at > 900*time.Microsecond {
+		t.Errorf("cross-rack pubsub delivery at %v, want cross-rack latency", at)
+	}
+}

@@ -1,0 +1,44 @@
+package netsim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkMaxMinSolve measures the water-filling solver at the contention
+// level of the bandwidth-collapse experiment (20 flows over shared links).
+func BenchmarkMaxMinSolve(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	shared := f.NewLink("vm-nic", Mbps(538))
+	sink := f.NewLink("sink", Gbps(400))
+	for i := 0; i < 20; i++ {
+		f.TransferAsync(1e12, shared, sink)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.solve()
+	}
+}
+
+// BenchmarkTransferLifecycle measures full start-progress-complete cycles.
+func BenchmarkTransferLifecycle(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	l := f.NewLink("nic", MBps(100))
+	done := 0
+	k.Spawn("xfers", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			f.Transfer(p, 1e6, l)
+			done++
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+	if done != b.N {
+		b.Fatalf("completed %d, want %d", done, b.N)
+	}
+}

@@ -1,0 +1,299 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+func almostEqual(a, b, tolFrac float64) bool {
+	if a == b {
+		return true
+	}
+	denom := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/denom <= tolFrac
+}
+
+func TestSingleFlowUsesFullCapacity(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	l := f.NewLink("nic", MBps(100))
+	var elapsed sim.Time
+	k.Spawn("xfer", func(p *sim.Proc) {
+		f.Transfer(p, 100e6, l) // 100 MB over 100 MB/s => 1s
+		elapsed = p.Now()
+	})
+	k.Run()
+	if !almostEqual(elapsed.Seconds(), 1.0, 0.001) {
+		t.Errorf("transfer took %v, want ~1s", elapsed)
+	}
+}
+
+func TestTwoFlowsShareEqually(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	l := f.NewLink("nic", MBps(100))
+	var done [2]sim.Time
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("xfer", func(p *sim.Proc) {
+			f.Transfer(p, 100e6, l)
+			done[i] = p.Now()
+		})
+	}
+	k.Run()
+	// Both flows share 100MB/s: each gets 50MB/s, finishing together at 2s.
+	for i, d := range done {
+		if !almostEqual(d.Seconds(), 2.0, 0.001) {
+			t.Errorf("flow %d finished at %v, want ~2s", i, d)
+		}
+	}
+}
+
+func TestStaggeredFlowSpeedsUpAfterCompetitorFinishes(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	l := f.NewLink("nic", MBps(100))
+	var bigDone sim.Time
+	k.Spawn("big", func(p *sim.Proc) {
+		f.Transfer(p, 150e6, l)
+		bigDone = p.Now()
+	})
+	k.Spawn("small", func(p *sim.Proc) {
+		f.Transfer(p, 50e6, l)
+	})
+	k.Run()
+	// Shared phase: both at 50MB/s until small's 50MB drains at t=1s.
+	// Big then has 100MB left at full 100MB/s => finishes at t=2s.
+	if !almostEqual(bigDone.Seconds(), 2.0, 0.001) {
+		t.Errorf("big flow finished at %v, want ~2s", bigDone)
+	}
+}
+
+func TestMaxMinBottleneckRates(t *testing.T) {
+	// Classic max-min scenario: flows A (link1 only), B (link1+link2),
+	// C (link2 only). link1 = 100, link2 = 50 (MB/s).
+	// Water-filling: link2 is bottleneck (50/2=25): B=C=25.
+	// Then link1 has 75 free for A alone: A=75.
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	l1 := f.NewLink("l1", MBps(100))
+	l2 := f.NewLink("l2", MBps(50))
+	// Start three long transfers, then probe the instantaneous rates.
+	f.TransferAsync(1e12, l1)
+	f.TransferAsync(1e12, l1, l2)
+	f.TransferAsync(1e12, l2)
+	rates := f.solve()
+	got := map[string]float64{}
+	for fl, r := range rates {
+		key := ""
+		for _, l := range fl.links {
+			key += l.Name()
+		}
+		got[key] = float64(r) / 1e6
+	}
+	if !almostEqual(got["l1"], 75, 0.01) {
+		t.Errorf("A rate = %v MB/s, want 75", got["l1"])
+	}
+	if !almostEqual(got["l1l2"], 25, 0.01) {
+		t.Errorf("B rate = %v MB/s, want 25", got["l1l2"])
+	}
+	if !almostEqual(got["l2"], 25, 0.01) {
+		t.Errorf("C rate = %v MB/s, want 25", got["l2"])
+	}
+}
+
+func TestRateProbe(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	l := f.NewLink("nic", Mbps(538))
+	if r := f.Rate(l); !almostEqual(float64(r), float64(Mbps(538)), 0.001) {
+		t.Errorf("idle rate = %v, want full capacity", r)
+	}
+	f.TransferAsync(1e12, l)
+	if r := f.Rate(l); !almostEqual(float64(r), float64(Mbps(538))/2, 0.001) {
+		t.Errorf("rate with 1 competitor = %v, want half capacity", r)
+	}
+	if f.InFlight() != 1 {
+		t.Errorf("probe leaked a flow: InFlight = %d", f.InFlight())
+	}
+}
+
+func TestBandwidthCollapseUnderPacking(t *testing.T) {
+	// The paper's constraint (2): 538 Mbps for one function; ~28 Mbps
+	// average with 20 functions packed on one host. With a fair-shared
+	// NIC the per-flow rate must be capacity/20.
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	nic := f.NewLink("host-nic", Mbps(538))
+	for i := 0; i < 19; i++ {
+		f.TransferAsync(1e12, nic)
+	}
+	f.TransferAsync(1e12, nic)
+	perFlow := f.solve()
+	for _, r := range perFlow {
+		mbps := float64(r) * 8 / 1e6
+		if !almostEqual(mbps, 538.0/20, 0.01) {
+			t.Fatalf("per-flow rate = %.1f Mbps, want %.1f", mbps, 538.0/20)
+		}
+	}
+}
+
+func TestZeroByteTransferIsInstant(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	l := f.NewLink("nic", MBps(1))
+	var at sim.Time = -1
+	k.Spawn("xfer", func(p *sim.Proc) {
+		f.Transfer(p, 0, l)
+		at = p.Now()
+	})
+	k.Run()
+	if at != 0 {
+		t.Errorf("zero-byte transfer took %v", at)
+	}
+}
+
+func TestSetCapacityMidFlight(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	l := f.NewLink("nic", MBps(100))
+	var done sim.Time
+	k.Spawn("xfer", func(p *sim.Proc) {
+		f.Transfer(p, 200e6, l)
+		done = p.Now()
+	})
+	k.Spawn("upgrader", func(p *sim.Proc) {
+		p.Sleep(time.Second) // 100MB moved so far
+		l.SetCapacity(f, MBps(200))
+	})
+	k.Run()
+	// Remaining 100MB at 200MB/s => +0.5s.
+	if !almostEqual(done.Seconds(), 1.5, 0.001) {
+		t.Errorf("transfer finished at %v, want ~1.5s", done)
+	}
+}
+
+func TestTransferAsyncLatch(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	l := f.NewLink("nic", MBps(10))
+	latch := f.TransferAsync(10e6, l)
+	if latch.Released() {
+		t.Fatal("latch released before transfer completed")
+	}
+	var at sim.Time
+	k.Spawn("waiter", func(p *sim.Proc) {
+		latch.Wait(p)
+		at = p.Now()
+	})
+	k.Run()
+	if !almostEqual(at.Seconds(), 1.0, 0.001) {
+		t.Errorf("async transfer completed at %v, want ~1s", at)
+	}
+}
+
+// Property: with n equal flows on one link, all finish at n * (size/capacity)
+// and total bytes moved equals n*size (conservation).
+func TestQuickEqualSharingConservation(t *testing.T) {
+	prop := func(nRaw, sizeRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		size := (int64(sizeRaw) + 1) * 1e6
+		k := sim.NewKernel()
+		defer k.Close()
+		f := NewFabric(k)
+		l := f.NewLink("nic", MBps(100))
+		finish := make([]sim.Time, n)
+		for i := 0; i < n; i++ {
+			i := i
+			k.Spawn("xfer", func(p *sim.Proc) {
+				f.Transfer(p, size, l)
+				finish[i] = p.Now()
+			})
+		}
+		k.Run()
+		want := float64(n) * float64(size) / 100e6
+		for _, ft := range finish {
+			if !almostEqual(ft.Seconds(), want, 0.01) {
+				return false
+			}
+		}
+		return f.InFlight() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: max-min rates never exceed any crossed link's capacity and
+// every link with at least one flow is fully utilized or all its flows are
+// bottlenecked elsewhere.
+func TestQuickMaxMinFeasibleAndEfficient(t *testing.T) {
+	prop := func(seed uint64) bool {
+		rng := simrand.New(seed)
+		k := sim.NewKernel()
+		defer k.Close()
+		f := NewFabric(k)
+		nLinks := rng.Intn(4) + 2
+		links := make([]*Link, nLinks)
+		for i := range links {
+			links[i] = f.NewLink("l", MBps(float64(rng.Intn(90)+10)))
+		}
+		nFlows := rng.Intn(8) + 1
+		for i := 0; i < nFlows; i++ {
+			cnt := rng.Intn(nLinks) + 1
+			perm := rng.Perm(nLinks)
+			fls := make([]*Link, cnt)
+			for j := 0; j < cnt; j++ {
+				fls[j] = links[perm[j]]
+			}
+			f.TransferAsync(1e12, fls...)
+		}
+		rates := f.solve()
+		// Feasibility: per-link sum of rates <= capacity (+0.1% slack).
+		for _, l := range links {
+			var sum float64
+			for fl := range l.flows {
+				sum += float64(rates[fl])
+			}
+			if sum > float64(l.capacity)*1.001 {
+				return false
+			}
+		}
+		// Efficiency: every flow is bottlenecked on at least one of its
+		// links (cannot be raised without exceeding some capacity).
+		for fl, r := range rates {
+			bottlenecked := false
+			for _, l := range fl.links {
+				var sum float64
+				for other := range l.flows {
+					sum += float64(rates[other])
+				}
+				if sum >= float64(l.capacity)*0.999 {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked && r > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+func newTestNetwork(k *sim.Kernel) *Network {
+	return NewNetwork(k, simrand.New(1), DefaultLatency())
+}
+
+func TestNodeRegistration(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	n := newTestNetwork(k)
+	a := n.NewNode("a", 0, Mbps(538))
+	if n.Node("a") != a {
+		t.Error("Node lookup failed")
+	}
+	if n.Node("missing") != nil {
+		t.Error("lookup of unregistered node should return nil")
+	}
+	if a.Rack() != 0 || a.ID() != "a" || a.NIC() == nil {
+		t.Error("node fields not populated")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	n := newTestNetwork(k)
+	n.NewNode("a", 0, Mbps(100))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate node id did not panic")
+		}
+	}()
+	n.NewNode("a", 1, Mbps(100))
+}
+
+func TestLatencyClassesOrdered(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	n := newTestNetwork(k)
+	a := n.NewNode("a", 0, Gbps(10))
+	b := n.NewNode("b", 0, Gbps(10))
+	c := n.NewNode("c", 1, Gbps(10))
+	avg := func(src, dst *Node) time.Duration {
+		var sum time.Duration
+		for i := 0; i < 1000; i++ {
+			sum += n.OneWayDelay(src, dst)
+		}
+		return sum / 1000
+	}
+	sameHost := avg(a, a)
+	sameRack := avg(a, b)
+	crossRack := avg(a, c)
+	if !(sameHost < sameRack && sameRack < crossRack) {
+		t.Errorf("latency classes out of order: host=%v rack=%v cross=%v",
+			sameHost, sameRack, crossRack)
+	}
+	// Calibration: same-rack propagation RTT must leave room for NIC
+	// serialization and software overhead so a 1KB acked round trip
+	// lands near the paper's 290µs (asserted end-to-end in msgnet).
+	rtt := 2 * sameRack
+	if rtt < 260*time.Microsecond || rtt > 310*time.Microsecond {
+		t.Errorf("same-rack propagation RTT = %v, want ~284µs", rtt)
+	}
+}
+
+func TestSendMovesBytesThroughBothNICs(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	n := newTestNetwork(k)
+	src := n.NewNode("src", 0, MBps(100))
+	dst := n.NewNode("dst", 1, MBps(50)) // receiver NIC is the bottleneck
+	var done sim.Time
+	k.Spawn("send", func(p *sim.Proc) {
+		n.Send(p, src, dst, 50e6)
+		done = p.Now()
+	})
+	k.Run()
+	// 50MB at 50MB/s = 1s plus sub-millisecond propagation.
+	if done < time.Second || done > time.Second+2*time.Millisecond {
+		t.Errorf("send took %v, want ~1s", done)
+	}
+}
+
+func TestSendZeroBytesOnlyPropagates(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	n := newTestNetwork(k)
+	src := n.NewNode("src", 0, MBps(100))
+	dst := n.NewNode("dst", 0, MBps(100))
+	var done sim.Time
+	k.Spawn("send", func(p *sim.Proc) {
+		n.Send(p, src, dst, 0)
+		done = p.Now()
+	})
+	k.Run()
+	if done <= 0 || done > time.Millisecond {
+		t.Errorf("zero-byte send took %v, want sub-ms propagation only", done)
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if Mbps(8) != Bps(1e6) {
+		t.Errorf("Mbps(8) = %v, want 1e6 B/s", Mbps(8))
+	}
+	if Gbps(1) != Bps(125e6) {
+		t.Errorf("Gbps(1) = %v, want 125e6 B/s", Gbps(1))
+	}
+	if MBps(1) != Bps(1e6) {
+		t.Errorf("MBps(1) = %v, want 1e6 B/s", MBps(1))
+	}
+}

@@ -1,0 +1,131 @@
+package objectstore
+
+// Range reads and multipart uploads, mirroring S3's GetObject Range header
+// and the multipart-upload protocol. Range reads matter to the paper's
+// training loop (sharding a large object instead of whole-object fetches);
+// multipart is how anything larger than one connection's worth of patience
+// gets uploaded in the first place.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Range-read and multipart errors.
+var (
+	ErrBadRange        = errors.New("objectstore: invalid byte range")
+	ErrUploadNotFound  = errors.New("objectstore: no such multipart upload")
+	ErrPartOutOfOrder  = errors.New("objectstore: parts must be numbered 1..n")
+	ErrUploadCompleted = errors.New("objectstore: upload already completed")
+)
+
+// GetRange retrieves `length` bytes starting at `offset`, transferring only
+// that slice. For payload-bearing objects the returned Object carries the
+// sliced data; for sized objects only Size is set.
+func (s *Store) GetRange(p *sim.Proc, caller *netsim.Node, key string, offset, length int64) (Object, error) {
+	if offset < 0 || length <= 0 {
+		return Object{}, ErrBadRange
+	}
+	s.meter.Charge("s3.get", 1, s.catalog.S3GetPerRequest)
+	s.serviceTime(p, caller)
+	obj, ok := s.visible(p.Now(), key)
+	if !ok {
+		return Object{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	if offset >= obj.Size {
+		return Object{}, fmt.Errorf("%w: offset %d beyond size %d", ErrBadRange, offset, obj.Size)
+	}
+	if offset+length > obj.Size {
+		length = obj.Size - offset
+	}
+	s.stream(p, caller, length)
+	out := Object{Key: obj.Key, Size: length, Version: obj.Version}
+	if obj.Data != nil {
+		out.Data = append([]byte(nil), obj.Data[offset:offset+length]...)
+	}
+	return out, nil
+}
+
+// Upload is an in-progress multipart upload.
+type Upload struct {
+	store     *Store
+	key       string
+	id        string
+	parts     []int64 // sizes by part number - 1
+	completed bool
+}
+
+// ID returns the upload identifier.
+func (u *Upload) ID() string { return u.id }
+
+// CreateUpload starts a multipart upload for key.
+func (s *Store) CreateUpload(p *sim.Proc, caller *netsim.Node, key string) *Upload {
+	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
+	s.serviceTime(p, caller)
+	s.nextVer++
+	u := &Upload{store: s, key: key, id: fmt.Sprintf("upload-%d", s.nextVer)}
+	s.uploads[u.id] = u
+	return u
+}
+
+// UploadPart transfers one part (parts are numbered from 1, in order; S3
+// allows out-of-order parts but the simulation keeps the common sequential
+// case strict to catch driver bugs).
+func (s *Store) UploadPart(p *sim.Proc, caller *netsim.Node, u *Upload, partNum int, size int64) error {
+	if s.uploads[u.id] != u {
+		return ErrUploadNotFound
+	}
+	if u.completed {
+		return ErrUploadCompleted
+	}
+	if partNum != len(u.parts)+1 {
+		return fmt.Errorf("%w: got part %d, want %d", ErrPartOutOfOrder, partNum, len(u.parts)+1)
+	}
+	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
+	s.serviceTime(p, caller)
+	s.stream(p, caller, size)
+	u.parts = append(u.parts, size)
+	return nil
+}
+
+// CompleteUpload assembles the parts into a sized object and ends the
+// upload. Completion is metadata-only (no data transfer), like S3.
+func (s *Store) CompleteUpload(p *sim.Proc, caller *netsim.Node, u *Upload) (Object, error) {
+	if s.uploads[u.id] != u {
+		return Object{}, ErrUploadNotFound
+	}
+	if u.completed {
+		return Object{}, ErrUploadCompleted
+	}
+	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
+	s.serviceTime(p, caller)
+	var total int64
+	for _, sz := range u.parts {
+		total += sz
+	}
+	u.completed = true
+	delete(s.uploads, u.id)
+	s.nextVer++
+	obj := Object{Key: u.key, Size: total, Version: s.nextVer}
+	hist := s.objects[u.key]
+	if n := len(hist); n > 1 {
+		hist = hist[n-1:]
+	}
+	s.objects[u.key] = append(hist, version{obj: obj, writtenAt: p.Now()})
+	return obj, nil
+}
+
+// AbortUpload discards an in-progress upload.
+func (s *Store) AbortUpload(p *sim.Proc, caller *netsim.Node, u *Upload) error {
+	if s.uploads[u.id] != u {
+		return ErrUploadNotFound
+	}
+	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
+	s.serviceTime(p, caller)
+	u.completed = true
+	delete(s.uploads, u.id)
+	return nil
+}

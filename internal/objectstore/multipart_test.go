@@ -1,0 +1,177 @@
+package objectstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestGetRangeSlicesData(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var got Object
+	var err error
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.store.Put(p, f.caller, "k", []byte("hello world"))
+		got, err = f.store.GetRange(p, f.caller, "k", 6, 5)
+	})
+	f.k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Data) != "world" || got.Size != 5 {
+		t.Errorf("range = %+v", got)
+	}
+}
+
+func TestGetRangeClampsLength(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var got Object
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.store.Put(p, f.caller, "k", []byte("abc"))
+		got, _ = f.store.GetRange(p, f.caller, "k", 1, 100)
+	})
+	f.k.Run()
+	if string(got.Data) != "bc" {
+		t.Errorf("clamped range = %q", got.Data)
+	}
+}
+
+func TestGetRangeErrors(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var badOffset, badLen, missing, beyond error
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.store.Put(p, f.caller, "k", []byte("abc"))
+		_, badOffset = f.store.GetRange(p, f.caller, "k", -1, 1)
+		_, badLen = f.store.GetRange(p, f.caller, "k", 0, 0)
+		_, missing = f.store.GetRange(p, f.caller, "nope", 0, 1)
+		_, beyond = f.store.GetRange(p, f.caller, "k", 10, 1)
+	})
+	f.k.Run()
+	if !errors.Is(badOffset, ErrBadRange) || !errors.Is(badLen, ErrBadRange) ||
+		!errors.Is(beyond, ErrBadRange) {
+		t.Errorf("range errors: %v, %v, %v", badOffset, badLen, beyond)
+	}
+	if !errors.Is(missing, ErrNotFound) {
+		t.Errorf("missing key: %v", missing)
+	}
+}
+
+func TestRangeReadTransfersOnlySlice(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var full, slice sim.Time
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.store.PutSized(p, f.caller, "big", 100e6)
+		start := p.Now()
+		f.store.Get(p, f.caller, "big")
+		full = p.Now() - start
+		start = p.Now()
+		f.store.GetRange(p, f.caller, "big", 0, 10e6)
+		slice = p.Now() - start
+	})
+	f.k.Run()
+	// 10MB should take ~1/10th the transfer time plus fixed overhead.
+	if slice > full/3 {
+		t.Errorf("10%% range read took %v vs full %v", slice, full)
+	}
+}
+
+func TestMultipartUploadAssemblesObject(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var obj Object
+	var err error
+	f.k.Spawn("c", func(p *sim.Proc) {
+		u := f.store.CreateUpload(p, f.caller, "assembled")
+		for i := 1; i <= 3; i++ {
+			if e := f.store.UploadPart(p, f.caller, u, i, 5e6); e != nil {
+				t.Errorf("part %d: %v", i, e)
+				return
+			}
+		}
+		obj, err = f.store.CompleteUpload(p, f.caller, u)
+	})
+	f.k.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Size != 15e6 {
+		t.Errorf("assembled size = %d, want 15MB", obj.Size)
+	}
+	var got Object
+	f.k.Spawn("reader", func(p *sim.Proc) {
+		got, _ = f.store.Get(p, f.caller, "assembled")
+	})
+	f.k.Run()
+	if got.Size != 15e6 {
+		t.Errorf("stored object size = %d", got.Size)
+	}
+}
+
+func TestMultipartPartOrdering(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var err error
+	f.k.Spawn("c", func(p *sim.Proc) {
+		u := f.store.CreateUpload(p, f.caller, "k")
+		err = f.store.UploadPart(p, f.caller, u, 2, 1e6) // should be 1
+	})
+	f.k.Run()
+	if !errors.Is(err, ErrPartOutOfOrder) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMultipartLifecycleErrors(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	var afterComplete, afterAbort, doubleComplete error
+	f.k.Spawn("c", func(p *sim.Proc) {
+		u := f.store.CreateUpload(p, f.caller, "k")
+		f.store.UploadPart(p, f.caller, u, 1, 1e6)
+		if _, err := f.store.CompleteUpload(p, f.caller, u); err != nil {
+			t.Errorf("complete: %v", err)
+			return
+		}
+		afterComplete = f.store.UploadPart(p, f.caller, u, 2, 1e6)
+		_, doubleComplete = f.store.CompleteUpload(p, f.caller, u)
+
+		u2 := f.store.CreateUpload(p, f.caller, "k2")
+		if err := f.store.AbortUpload(p, f.caller, u2); err != nil {
+			t.Errorf("abort: %v", err)
+			return
+		}
+		afterAbort = f.store.UploadPart(p, f.caller, u2, 1, 1e6)
+	})
+	f.k.Run()
+	for name, err := range map[string]error{
+		"part after complete": afterComplete,
+		"double complete":     doubleComplete,
+		"part after abort":    afterAbort,
+	} {
+		if err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestMultipartParallelPartsShareConnectionLimits(t *testing.T) {
+	// Two sequential 40MB parts vs the same bytes in one Put: multipart
+	// pays extra per-request overhead but the same streaming time.
+	f := newFixture(t, DefaultConfig())
+	var multi, single sim.Time
+	f.k.Spawn("c", func(p *sim.Proc) {
+		u := f.store.CreateUpload(p, f.caller, "m")
+		start := p.Now()
+		f.store.UploadPart(p, f.caller, u, 1, 40e6)
+		f.store.UploadPart(p, f.caller, u, 2, 40e6)
+		f.store.CompleteUpload(p, f.caller, u)
+		multi = p.Now() - start
+		start = p.Now()
+		f.store.PutSized(p, f.caller, "s", 80e6)
+		single = p.Now() - start
+	})
+	f.k.Run()
+	overhead := multi - single
+	if overhead < 50*time.Millisecond || overhead > 500*time.Millisecond {
+		t.Errorf("multipart overhead = %v, want a few request round trips", overhead)
+	}
+}

@@ -1,0 +1,218 @@
+// Package pricing implements the Fall-2018 AWS price catalog and the cost
+// meters the simulated services charge against.
+//
+// Every dollar figure the reproduction reports is computed by metering
+// simulated requests and compute time against this catalog — never
+// hard-coded. The catalog values are public AWS us-east-1 prices from the
+// paper's measurement period (Fall 2018); provenance for each constant is
+// tabulated in EXPERIMENTS.md.
+package pricing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// USD is an amount of money in dollars.
+type USD float64
+
+// String formats the amount with four decimal places (sub-cent amounts
+// matter at per-request prices).
+func (u USD) String() string { return fmt.Sprintf("$%.4f", float64(u)) }
+
+// PerHour converts an hourly rate into a charge for duration d.
+func (u USD) PerHour(d time.Duration) USD { return u * USD(d.Hours()) }
+
+// Catalog holds unit prices. The zero value is free; use Fall2018 for the
+// calibrated catalog.
+type Catalog struct {
+	// Lambda: $0.20 per 1M requests plus $0.00001667 per GB-second,
+	// rounded up to 100ms granularity by the FaaS platform.
+	LambdaPerRequest  USD
+	LambdaPerGBSecond USD
+
+	// EC2 on-demand hourly prices by instance type.
+	EC2PerHour map[string]USD
+
+	// S3 request prices ($0.005 per 1,000 PUT, $0.0004 per 1,000 GET).
+	S3PutPerRequest USD
+	S3GetPerRequest USD
+
+	// DynamoDB on-demand request-unit prices ($1.25 per million write
+	// units, $0.25 per million read units; a strongly consistent read
+	// unit covers 4KB, a write unit covers 1KB). On-demand launched in
+	// November 2018, contemporaneous with the paper.
+	DynamoReadPerUnit  USD
+	DynamoWritePerUnit USD
+
+	// DynamoDB provisioned-capacity prices (the 2018 default mode):
+	// $0.00013 per RCU-hour and $0.00065 per WCU-hour. Provisioning to
+	// peak is how a steady-state workload would actually be billed.
+	DynamoRCUHour USD
+	DynamoWCUHour USD
+
+	// SQS: $0.40 per million requests (standard queues).
+	SQSPerRequest USD
+}
+
+// Fall2018 returns the us-east-1 catalog for the paper's measurement period.
+func Fall2018() *Catalog {
+	return &Catalog{
+		LambdaPerRequest:  0.20 / 1e6,
+		LambdaPerGBSecond: 0.00001667,
+		EC2PerHour: map[string]USD{
+			"m4.large": 0.10,
+			"m5.large": 0.096,
+		},
+		S3PutPerRequest:    0.005 / 1000,
+		S3GetPerRequest:    0.0004 / 1000,
+		DynamoReadPerUnit:  0.25 / 1e6,
+		DynamoWritePerUnit: 1.25 / 1e6,
+		DynamoRCUHour:      0.00013,
+		DynamoWCUHour:      0.00065,
+		SQSPerRequest:      0.40 / 1e6,
+	}
+}
+
+// DynamoProvisionedHourly prices a table provisioned for the given
+// sustained read/write unit rates (per second), the way a steady workload
+// would be capacity-planned.
+func (c *Catalog) DynamoProvisionedHourly(rcuPerSec, wcuPerSec float64) USD {
+	return c.DynamoRCUHour*USD(rcuPerSec) + c.DynamoWCUHour*USD(wcuPerSec)
+}
+
+// EC2Hourly returns the hourly price for an instance type, panicking on
+// unknown types so misconfigured experiments fail loudly.
+func (c *Catalog) EC2Hourly(instanceType string) USD {
+	p, ok := c.EC2PerHour[instanceType]
+	if !ok {
+		panic("pricing: unknown EC2 instance type " + instanceType)
+	}
+	return p
+}
+
+// DynamoReadUnits returns the on-demand read request units consumed by
+// reading size bytes: ceil(size/4KB) for strongly consistent reads, half
+// that (rounded up) for eventually consistent reads. Zero-byte reads still
+// consume one unit.
+func DynamoReadUnits(size int64, stronglyConsistent bool) int64 {
+	units := ceilDiv(size, 4096)
+	if units == 0 {
+		units = 1
+	}
+	if !stronglyConsistent {
+		units = (units + 1) / 2
+	}
+	return units
+}
+
+// DynamoWriteUnits returns write request units: ceil(size/1KB), minimum 1.
+func DynamoWriteUnits(size int64) int64 {
+	units := ceilDiv(size, 1024)
+	if units == 0 {
+		units = 1
+	}
+	return units
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }
+
+// LambdaDuration rounds a billed execution duration up to the platform's
+// 100ms billing granularity.
+func LambdaDuration(d time.Duration) time.Duration {
+	const quantum = 100 * time.Millisecond
+	if d <= 0 {
+		return quantum
+	}
+	return time.Duration(math.Ceil(float64(d)/float64(quantum))) * quantum
+}
+
+// LambdaCompute returns the GB-second charge for one invocation at the given
+// memory size, after 100ms rounding.
+func (c *Catalog) LambdaCompute(memoryMB int, billed time.Duration) USD {
+	gb := float64(memoryMB) / 1024
+	return c.LambdaPerGBSecond * USD(gb*LambdaDuration(billed).Seconds())
+}
+
+// Line is one metered charge category.
+type Line struct {
+	Item  string
+	Count int64
+	Cost  USD
+}
+
+// Meter accumulates charges by category. The zero value is ready to use.
+// Meters are manipulated only from simulation context and need no locking.
+type Meter struct {
+	lines map[string]*Line
+}
+
+// Charge records count units of item at unitCost each.
+func (m *Meter) Charge(item string, count int64, unitCost USD) {
+	m.line(item).Count += count
+	m.line(item).Cost += USD(count) * unitCost
+}
+
+// ChargeCost records a lump-sum cost against item (counted as one event).
+func (m *Meter) ChargeCost(item string, cost USD) {
+	m.line(item).Count++
+	m.line(item).Cost += cost
+}
+
+func (m *Meter) line(item string) *Line {
+	if m.lines == nil {
+		m.lines = make(map[string]*Line)
+	}
+	l, ok := m.lines[item]
+	if !ok {
+		l = &Line{Item: item}
+		m.lines[item] = l
+	}
+	return l
+}
+
+// Total returns the sum across all categories.
+func (m *Meter) Total() USD {
+	var t USD
+	for _, l := range m.lines {
+		t += l.Cost
+	}
+	return t
+}
+
+// Count returns the accumulated count for a category (zero if absent).
+func (m *Meter) Count(item string) int64 {
+	if m.lines == nil {
+		return 0
+	}
+	if l, ok := m.lines[item]; ok {
+		return l.Count
+	}
+	return 0
+}
+
+// Cost returns the accumulated cost for a category (zero if absent).
+func (m *Meter) Cost(item string) USD {
+	if m.lines == nil {
+		return 0
+	}
+	if l, ok := m.lines[item]; ok {
+		return l.Cost
+	}
+	return 0
+}
+
+// Lines returns all categories sorted by name for stable reporting.
+func (m *Meter) Lines() []Line {
+	out := make([]Line, 0, len(m.lines))
+	for _, l := range m.lines {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
+	return out
+}
+
+// Reset clears all accumulated charges.
+func (m *Meter) Reset() { m.lines = nil }

@@ -1,0 +1,187 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFall2018HeadlinePrices(t *testing.T) {
+	c := Fall2018()
+	if got := c.EC2Hourly("m5.large"); got != 0.096 {
+		t.Errorf("m5.large = %v, want $0.096/hr", got)
+	}
+	if got := c.EC2Hourly("m4.large"); got != 0.10 {
+		t.Errorf("m4.large = %v, want $0.10/hr", got)
+	}
+	if math.Abs(float64(c.SQSPerRequest-0.40/1e6)) > 1e-12 {
+		t.Errorf("SQS = %v, want $0.40/M", c.SQSPerRequest)
+	}
+}
+
+func TestUnknownInstanceTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown instance type did not panic")
+		}
+	}()
+	Fall2018().EC2Hourly("x1e.32xlarge")
+}
+
+// The paper: 31 Lambda executions x 15 min at 640MB cost $0.29.
+func TestPaperLambdaTrainingCost(t *testing.T) {
+	c := Fall2018()
+	var total USD
+	for i := 0; i < 31; i++ {
+		total += c.LambdaPerRequest
+		total += c.LambdaCompute(640, 15*time.Minute)
+	}
+	if total < 0.28 || total > 0.30 {
+		t.Errorf("31x15min@640MB = %v, paper reports $0.29", total)
+	}
+}
+
+// The paper: ~1300s of m4.large cost $0.04.
+func TestPaperEC2TrainingCost(t *testing.T) {
+	c := Fall2018()
+	cost := c.EC2Hourly("m4.large").PerHour(1300 * time.Second)
+	if cost < 0.03 || cost > 0.05 {
+		t.Errorf("1300s m4.large = %v, paper reports ~$0.04", cost)
+	}
+}
+
+// The paper: 290 m5.large instances cost $27.84/hr.
+func TestPaperServingFleetCost(t *testing.T) {
+	c := Fall2018()
+	cost := 290 * c.EC2Hourly("m5.large").PerHour(time.Hour)
+	if math.Abs(float64(cost-27.84)) > 0.01 {
+		t.Errorf("290 m5.large = %v, paper reports $27.84/hr", cost)
+	}
+}
+
+func TestLambdaDurationRounding(t *testing.T) {
+	cases := []struct {
+		in, want time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{1 * time.Millisecond, 100 * time.Millisecond},
+		{100 * time.Millisecond, 100 * time.Millisecond},
+		{101 * time.Millisecond, 200 * time.Millisecond},
+		{15 * time.Minute, 15 * time.Minute},
+	}
+	for _, c := range cases {
+		if got := LambdaDuration(c.in); got != c.want {
+			t.Errorf("LambdaDuration(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDynamoUnits(t *testing.T) {
+	cases := []struct {
+		bytes      int64
+		consistent bool
+		want       int64
+	}{
+		{0, true, 1},
+		{1, true, 1},
+		{4096, true, 1},
+		{4097, true, 2},
+		{250 * 1000, true, 62}, // ~250KB blackboard scan
+		{4096, false, 1},
+		{8192, false, 1},
+		{12288, false, 2},
+	}
+	for _, c := range cases {
+		if got := DynamoReadUnits(c.bytes, c.consistent); got != c.want {
+			t.Errorf("DynamoReadUnits(%d, %v) = %d, want %d", c.bytes, c.consistent, got, c.want)
+		}
+	}
+	if got := DynamoWriteUnits(1025); got != 2 {
+		t.Errorf("DynamoWriteUnits(1025) = %d, want 2", got)
+	}
+	if got := DynamoWriteUnits(0); got != 1 {
+		t.Errorf("DynamoWriteUnits(0) = %d, want 1", got)
+	}
+}
+
+func TestMeterAccumulation(t *testing.T) {
+	var m Meter
+	m.Charge("sqs.request", 1000, 0.40/1e6)
+	m.Charge("sqs.request", 1000, 0.40/1e6)
+	m.ChargeCost("ec2.m5.large", 0.096)
+	if m.Count("sqs.request") != 2000 {
+		t.Errorf("Count = %d, want 2000", m.Count("sqs.request"))
+	}
+	wantSQS := USD(2000 * 0.40 / 1e6)
+	if math.Abs(float64(m.Cost("sqs.request")-wantSQS)) > 1e-12 {
+		t.Errorf("Cost = %v, want %v", m.Cost("sqs.request"), wantSQS)
+	}
+	if math.Abs(float64(m.Total()-(wantSQS+0.096))) > 1e-12 {
+		t.Errorf("Total = %v", m.Total())
+	}
+	lines := m.Lines()
+	if len(lines) != 2 || lines[0].Item != "ec2.m5.large" {
+		t.Errorf("Lines = %v, want sorted two lines", lines)
+	}
+	m.Reset()
+	if m.Total() != 0 || m.Count("sqs.request") != 0 {
+		t.Error("Reset did not clear meter")
+	}
+}
+
+func TestMeterZeroValueUsable(t *testing.T) {
+	var m Meter
+	if m.Total() != 0 || m.Cost("x") != 0 || m.Count("x") != 0 || len(m.Lines()) != 0 {
+		t.Error("zero-value meter not empty")
+	}
+}
+
+func TestUSDString(t *testing.T) {
+	if got := USD(1.23456).String(); got != "$1.2346" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: meter total always equals the sum of its lines, and counts are
+// additive across charges.
+func TestQuickMeterAdditive(t *testing.T) {
+	prop := func(counts []uint16) bool {
+		var m Meter
+		var wantTotal float64
+		var wantCount int64
+		for _, c := range counts {
+			m.Charge("item", int64(c), 0.001)
+			wantTotal += float64(c) * 0.001
+			wantCount += int64(c)
+		}
+		var sum float64
+		for _, l := range m.Lines() {
+			sum += float64(l.Cost)
+		}
+		return math.Abs(sum-float64(m.Total())) < 1e-9 &&
+			math.Abs(float64(m.Total())-wantTotal) < 1e-6 &&
+			m.Count("item") == wantCount
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Dynamo read units are monotone in size and strongly consistent
+// reads never cost fewer units than eventually consistent ones.
+func TestQuickDynamoUnitsMonotone(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		if DynamoReadUnits(x, true) > DynamoReadUnits(y, true) {
+			return false
+		}
+		return DynamoReadUnits(x, true) >= DynamoReadUnits(x, false)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package queue
+
+// Dead-letter support: SQS's redrive policy moves a message that has been
+// received more than maxReceiveCount times to a designated dead-letter
+// queue instead of redelivering it — the standard guard against poison
+// messages in exactly the event-driven pipelines §2 describes.
+
+// RedrivePolicy routes repeatedly failed messages to a dead-letter queue.
+type RedrivePolicy struct {
+	// MaxReceives is the last delivery attempt that is still allowed;
+	// the message moves to the dead-letter queue when its receive count
+	// would exceed this. Must be >= 1.
+	MaxReceives int
+	// DeadLetter receives exhausted messages. Must not be the source
+	// queue itself.
+	DeadLetter *Queue
+}
+
+// SetRedrivePolicy installs (or, with a nil DeadLetter, clears) the
+// queue's redrive policy.
+func (q *Queue) SetRedrivePolicy(p RedrivePolicy) error {
+	if p.DeadLetter == nil {
+		q.redrive = nil
+		return nil
+	}
+	if p.DeadLetter == q {
+		return errSelfRedrive
+	}
+	if p.MaxReceives < 1 {
+		return errBadMaxReceives
+	}
+	policy := p
+	q.redrive = &policy
+	return nil
+}
+
+// DeadLettered reports how many messages this queue has moved to its
+// dead-letter queue.
+func (q *Queue) DeadLettered() int64 { return q.deadLettered }
+
+// exhausted checks the redrive policy against a message about to be
+// delivered for the (attempts+1)-th time, moving it to the DLQ and
+// reporting true if it is out of attempts.
+func (q *Queue) exhausted(m *stored) bool {
+	if q.redrive == nil || m.attempts < q.redrive.MaxReceives {
+		return false
+	}
+	q.deadLettered++
+	dlq := q.redrive.DeadLetter
+	moved := &stored{id: m.id, body: m.body, attempts: m.attempts}
+	dlq.available = append(dlq.available, moved)
+	dlq.wakeWaiters(1)
+	return true
+}

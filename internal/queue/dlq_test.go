@@ -1,0 +1,121 @@
+package queue
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestRedrivePolicyValidation(t *testing.T) {
+	f := newFixture(t, time.Second)
+	dlq := f.svc.CreateQueue("dlq", time.Minute)
+	if err := f.q.SetRedrivePolicy(RedrivePolicy{MaxReceives: 0, DeadLetter: dlq}); err == nil {
+		t.Error("MaxReceives 0 accepted")
+	}
+	if err := f.q.SetRedrivePolicy(RedrivePolicy{MaxReceives: 3, DeadLetter: f.q}); err == nil {
+		t.Error("self-redrive accepted")
+	}
+	if err := f.q.SetRedrivePolicy(RedrivePolicy{MaxReceives: 3, DeadLetter: dlq}); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+	if err := f.q.SetRedrivePolicy(RedrivePolicy{}); err != nil {
+		t.Errorf("clearing policy failed: %v", err)
+	}
+}
+
+func TestPoisonMessageMovesToDLQ(t *testing.T) {
+	f := newFixture(t, 2*time.Second)
+	dlq := f.svc.CreateQueue("dlq", time.Minute)
+	if err := f.q.SetRedrivePolicy(RedrivePolicy{MaxReceives: 2, DeadLetter: dlq}); err != nil {
+		t.Fatal(err)
+	}
+	deliveries := 0
+	f.k.Spawn("consumer", func(p *sim.Proc) {
+		f.q.Send(p, f.caller, []byte("poison"))
+		// Receive and never delete: attempts 1, 2 allowed, then DLQ.
+		for i := 0; i < 4; i++ {
+			msgs, _ := f.q.Receive(p, f.caller, 1, 0)
+			deliveries += len(msgs)
+			p.Sleep(3 * time.Second) // past visibility each time
+		}
+	})
+	f.k.Run()
+	if deliveries != 2 {
+		t.Errorf("deliveries = %d, want exactly MaxReceives (2)", deliveries)
+	}
+	if f.q.DeadLettered() != 1 {
+		t.Errorf("DeadLettered = %d, want 1", f.q.DeadLettered())
+	}
+	if dlq.Depth() != 1 {
+		t.Errorf("DLQ depth = %d, want 1", dlq.Depth())
+	}
+}
+
+func TestDLQPreservesIdentityAndAttempts(t *testing.T) {
+	f := newFixture(t, time.Second)
+	dlq := f.svc.CreateQueue("dlq", time.Minute)
+	f.q.SetRedrivePolicy(RedrivePolicy{MaxReceives: 1, DeadLetter: dlq})
+	var origID string
+	var dead []Message
+	f.k.Spawn("c", func(p *sim.Proc) {
+		origID, _ = f.q.Send(p, f.caller, []byte("bad"))
+		f.q.Receive(p, f.caller, 1, 0) // attempt 1, never deleted
+		p.Sleep(2 * time.Second)       // reappears
+		f.q.Receive(p, f.caller, 1, 0) // exhausted -> DLQ, nothing delivered
+		dead, _ = dlq.Receive(p, f.caller, 1, 0)
+	})
+	f.k.Run()
+	if len(dead) != 1 {
+		t.Fatalf("DLQ delivered %d messages", len(dead))
+	}
+	if dead[0].ID != origID {
+		t.Errorf("DLQ message id = %s, want %s", dead[0].ID, origID)
+	}
+	if string(dead[0].Body) != "bad" {
+		t.Errorf("DLQ body = %q", dead[0].Body)
+	}
+}
+
+func TestHealthyMessagesUnaffectedByRedrive(t *testing.T) {
+	f := newFixture(t, time.Second)
+	dlq := f.svc.CreateQueue("dlq", time.Minute)
+	f.q.SetRedrivePolicy(RedrivePolicy{MaxReceives: 2, DeadLetter: dlq})
+	processed := 0
+	f.k.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			f.q.Send(p, f.caller, []byte{byte(i)})
+		}
+		for processed < 5 {
+			msgs, _ := f.q.Receive(p, f.caller, 10, time.Second)
+			for _, m := range msgs {
+				f.q.Delete(p, f.caller, m.Receipt)
+				processed++
+			}
+		}
+	})
+	f.k.Run()
+	if processed != 5 || f.q.DeadLettered() != 0 || dlq.Depth() != 0 {
+		t.Errorf("processed=%d deadlettered=%d dlq=%d", processed, f.q.DeadLettered(), dlq.Depth())
+	}
+}
+
+func TestDLQWakesItsWaiters(t *testing.T) {
+	f := newFixture(t, time.Second)
+	dlq := f.svc.CreateQueue("dlq", time.Minute)
+	f.q.SetRedrivePolicy(RedrivePolicy{MaxReceives: 1, DeadLetter: dlq})
+	var got []Message
+	f.k.Spawn("dlq-watcher", func(p *sim.Proc) {
+		got, _ = dlq.Receive(p, f.caller, 10, time.Minute) // long poll
+	})
+	f.k.Spawn("producer", func(p *sim.Proc) {
+		f.q.Send(p, f.caller, []byte("bad"))
+		f.q.Receive(p, f.caller, 1, 0)
+		p.Sleep(2 * time.Second)
+		f.q.Receive(p, f.caller, 1, 0) // pushes to DLQ
+	})
+	f.k.Run()
+	if len(got) != 1 {
+		t.Errorf("DLQ long-poller got %d messages, want 1", len(got))
+	}
+}

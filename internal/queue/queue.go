@@ -1,0 +1,291 @@
+// Package queue simulates an SQS-style message queue service: named queues
+// with SendMessage/ReceiveMessage/DeleteMessage, batches of at most ten
+// messages, long polling, visibility timeouts with at-least-once redelivery,
+// and per-request metering.
+//
+// SQS is the paper's "favored service for batching inputs" in the prediction
+// serving case study, and the per-request price is what makes the 1M msg/s
+// scenario cost $1,584/hr.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// MaxBatch is the largest number of messages per send or receive request,
+// matching SQS's limit of 10 (which the paper calls out as capping batching).
+const MaxBatch = 10
+
+// MaxMessageSize is the SQS payload limit.
+const MaxMessageSize = 256 * 1024
+
+// billingChunk is the payload size billed as one request (SQS bills each
+// 64KB chunk of a payload as a separate request).
+const billingChunk = 64 * 1024
+
+// ErrTooLarge is returned for payloads above MaxMessageSize.
+var ErrTooLarge = errors.New("queue: message exceeds 256KB limit")
+
+// ErrBatchTooBig is returned when more than MaxBatch messages are batched.
+var ErrBatchTooBig = errors.New("queue: batch exceeds 10 messages")
+
+// Redrive policy configuration errors.
+var (
+	errSelfRedrive    = errors.New("queue: dead-letter queue cannot be the source queue")
+	errBadMaxReceives = errors.New("queue: MaxReceives must be at least 1")
+)
+
+// Message is a received message. Receipt identifies this delivery for
+// Delete; Attempts counts deliveries (1 on first receipt).
+type Message struct {
+	ID       string
+	Body     []byte
+	Receipt  string
+	Attempts int
+}
+
+// Config holds service-level parameters.
+type Config struct {
+	// OpLatency is per-request service time, calibrated so that an EC2
+	// client's send plus a long-polling server's response leg plus the
+	// result send lands at the paper's 13 ms serving batch.
+	OpLatency simrand.Dist
+
+	// NICBps is the front end's aggregate network capacity.
+	NICBps netsim.Bps
+}
+
+// DefaultConfig returns the calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		OpLatency: simrand.LogNormal{Median: 4000 * time.Microsecond, Sigma: 0.15},
+		NICBps:    netsim.Gbps(400),
+	}
+}
+
+// Service is a simulated SQS endpoint hosting any number of named queues.
+type Service struct {
+	name    string
+	net     *netsim.Network
+	node    *netsim.Node
+	rng     *simrand.RNG
+	cfg     Config
+	catalog *pricing.Catalog
+	meter   *pricing.Meter
+	queues  map[string]*Queue
+}
+
+// NewService creates an SQS endpoint attached to the network.
+func NewService(name string, net *netsim.Network, rack int, rng *simrand.RNG,
+	cfg Config, catalog *pricing.Catalog, meter *pricing.Meter) *Service {
+	return &Service{
+		name:    name,
+		net:     net,
+		node:    net.NewNode(name, rack, cfg.NICBps),
+		rng:     rng,
+		cfg:     cfg,
+		catalog: catalog,
+		meter:   meter,
+		queues:  make(map[string]*Queue),
+	}
+}
+
+// Node returns the service's network endpoint.
+func (s *Service) Node() *netsim.Node { return s.node }
+
+// CreateQueue creates (or returns) the named queue with the given
+// visibility timeout for received-but-undeleted messages.
+func (s *Service) CreateQueue(name string, visibility time.Duration) *Queue {
+	if q, ok := s.queues[name]; ok {
+		return q
+	}
+	q := &Queue{
+		svc:        s,
+		name:       name,
+		visibility: visibility,
+		inflight:   make(map[string]*stored),
+	}
+	s.queues[name] = q
+	return q
+}
+
+// Queue is one named message queue.
+type Queue struct {
+	svc        *Service
+	name       string
+	visibility time.Duration
+	available  []*stored
+	inflight   map[string]*stored // by receipt
+	waiters    []*sim.Latch
+	nextID     int64
+	nextRcpt   int64
+
+	redrive      *RedrivePolicy
+	deadLettered int64
+}
+
+type stored struct {
+	id       string
+	body     []byte
+	attempts int
+	gen      int // invalidates stale visibility timers
+}
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }
+
+// Depth reports the number of immediately receivable messages.
+func (q *Queue) Depth() int { return len(q.available) }
+
+// InFlight reports the number of received-but-undeleted messages.
+func (q *Queue) InFlight() int { return len(q.inflight) }
+
+// request models one API request's round trip and charges for it,
+// including SQS's 64KB-chunk billing for large payloads.
+func (q *Queue) request(p *sim.Proc, caller *netsim.Node, payload int64) {
+	requests := int64(1)
+	if payload > billingChunk {
+		requests = (payload + billingChunk - 1) / billingChunk
+	}
+	q.svc.meter.Charge("sqs.request", requests, q.svc.catalog.SQSPerRequest)
+	p.Sleep(q.svc.net.OneWayDelay(caller, q.svc.node))
+	p.Sleep(q.svc.cfg.OpLatency.Sample(q.svc.rng))
+	p.Sleep(q.svc.net.OneWayDelay(q.svc.node, caller))
+}
+
+// Send enqueues one message and returns its ID.
+func (q *Queue) Send(p *sim.Proc, caller *netsim.Node, body []byte) (string, error) {
+	ids, err := q.SendBatch(p, caller, [][]byte{body})
+	if err != nil {
+		return "", err
+	}
+	return ids[0], nil
+}
+
+// SendBatch enqueues up to MaxBatch messages in one request.
+func (q *Queue) SendBatch(p *sim.Proc, caller *netsim.Node, bodies [][]byte) ([]string, error) {
+	if len(bodies) > MaxBatch {
+		return nil, ErrBatchTooBig
+	}
+	var payload int64
+	for _, b := range bodies {
+		if len(b) > MaxMessageSize {
+			return nil, ErrTooLarge
+		}
+		payload += int64(len(b))
+	}
+	q.request(p, caller, payload)
+	ids := make([]string, len(bodies))
+	for i, b := range bodies {
+		q.nextID++
+		m := &stored{
+			id:   fmt.Sprintf("%s-%d", q.name, q.nextID),
+			body: append([]byte(nil), b...),
+		}
+		ids[i] = m.id
+		q.available = append(q.available, m)
+	}
+	q.wakeWaiters(len(bodies))
+	return ids, nil
+}
+
+func (q *Queue) wakeWaiters(n int) {
+	for n > 0 && len(q.waiters) > 0 {
+		q.waiters[0].Release()
+		q.waiters = q.waiters[1:]
+		n--
+	}
+}
+
+// Receive returns up to max (≤ MaxBatch) messages, long-polling for up to
+// wait if the queue is empty. Received messages become invisible for the
+// queue's visibility timeout and reappear unless deleted — the at-least-once
+// contract.
+//
+// Unlike one-shot requests, the service time is split around the poll so a
+// long-polled message still pays the response leg after it arrives.
+func (q *Queue) Receive(p *sim.Proc, caller *netsim.Node, max int, wait time.Duration) ([]Message, error) {
+	if max <= 0 || max > MaxBatch {
+		return nil, ErrBatchTooBig
+	}
+	q.svc.meter.Charge("sqs.request", 1, q.svc.catalog.SQSPerRequest)
+	service := q.svc.cfg.OpLatency.Sample(q.svc.rng)
+	p.Sleep(q.svc.net.OneWayDelay(caller, q.svc.node) + service/2)
+	deadline := p.Now() + wait
+	for len(q.available) == 0 && p.Now() < deadline {
+		w := &sim.Latch{}
+		q.waiters = append(q.waiters, w)
+		p.Kernel().At(deadline, w.Release)
+		w.Wait(p)
+		q.dropWaiter(w)
+	}
+	msgs := make([]Message, 0, max)
+	for len(msgs) < max && len(q.available) > 0 {
+		m := q.available[0]
+		q.available = q.available[1:]
+		if q.exhausted(m) {
+			continue // moved to the dead-letter queue
+		}
+		q.nextRcpt++
+		receipt := fmt.Sprintf("rcpt-%s-%d", q.name, q.nextRcpt)
+		m.attempts++
+		m.gen++
+		q.inflight[receipt] = m
+		q.scheduleReappear(p.Kernel(), receipt, m.gen)
+		msgs = append(msgs, Message{
+			ID:       m.id,
+			Body:     m.body,
+			Receipt:  receipt,
+			Attempts: m.attempts,
+		})
+	}
+	p.Sleep(service/2 + q.svc.net.OneWayDelay(q.svc.node, caller))
+	return msgs, nil
+}
+
+func (q *Queue) dropWaiter(w *sim.Latch) {
+	for i, cand := range q.waiters {
+		if cand == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+func (q *Queue) scheduleReappear(k *sim.Kernel, receipt string, gen int) {
+	k.After(q.visibility, func() {
+		m, ok := q.inflight[receipt]
+		if !ok || m.gen != gen {
+			return // deleted, or re-received under a newer receipt
+		}
+		delete(q.inflight, receipt)
+		q.available = append(q.available, m)
+		q.wakeWaiters(1)
+	})
+}
+
+// Delete acknowledges a delivery by receipt. Unknown receipts (already
+// expired and redelivered) are ignored, matching SQS.
+func (q *Queue) Delete(p *sim.Proc, caller *netsim.Node, receipt string) {
+	q.request(p, caller, 0)
+	delete(q.inflight, receipt)
+}
+
+// DeleteBatch acknowledges up to MaxBatch deliveries in one request.
+func (q *Queue) DeleteBatch(p *sim.Proc, caller *netsim.Node, receipts []string) error {
+	if len(receipts) > MaxBatch {
+		return ErrBatchTooBig
+	}
+	q.request(p, caller, 0)
+	for _, r := range receipts {
+		delete(q.inflight, r)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw kernel event dispatch rate — the
+// quantity that bounds how much virtual time per wall second every
+// experiment gets.
+func BenchmarkEventThroughput(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			k.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.After(0, tick)
+	k.Run()
+	if count != b.N && b.N > 0 {
+		b.Fatalf("ran %d events, want %d", count, b.N)
+	}
+}
+
+// BenchmarkProcContextSwitch measures the park/wake handshake between the
+// kernel and a process goroutine.
+func BenchmarkProcContextSwitch(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkQueueHandoff measures producer/consumer handoffs through a
+// bounded simulation queue.
+func BenchmarkQueueHandoff(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[int](8)
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	received := 0
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+			received++
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+	if received != b.N {
+		b.Fatalf("received %d, want %d", received, b.N)
+	}
+}

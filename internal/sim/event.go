@@ -1,0 +1,36 @@
+package sim
+
+// event is a scheduled callback. Events are ordered by time, with the
+// sequence number breaking ties so that events scheduled earlier (in program
+// order) at the same virtual time run first. This total order is what makes
+// the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap implements container/heap over scheduled events.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

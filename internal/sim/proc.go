@@ -1,0 +1,97 @@
+package sim
+
+// Proc is a simulated process: a goroutine whose execution is serialized by
+// the kernel and whose notion of time is the kernel's virtual clock. Process
+// bodies are ordinary blocking Go code; blocking operations (Sleep, Queue.Get,
+// Signal.Wait, ...) park the process and return control to the kernel.
+//
+// Exactly one process runs at any instant, so process code may freely read
+// and write shared simulation state without locks.
+type Proc struct {
+	k      *Kernel
+	name   string
+	id     uint64
+	resume chan token
+}
+
+// Name returns the name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns a kernel-unique process identifier (1-based, in spawn order).
+func (p *Proc) ID() uint64 { return p.id }
+
+// Kernel returns the kernel this process belongs to.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// run is the goroutine body backing the process.
+func (p *Proc) run(fn func(*Proc)) {
+	// Wait for the start event (or kernel shutdown before start).
+	select {
+	case <-p.resume:
+	case <-p.k.killed:
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(killedPanic); ok {
+				// Kernel shut down while we were parked; the kernel
+				// loop is not waiting for us, so just vanish.
+				return
+			}
+			// User code panicked. Record it for Run to re-raise on the
+			// caller's goroutine, then hand control back.
+			p.k.failure = &procPanic{proc: p.name, val: r}
+		}
+		p.k.liveProcs--
+		p.k.yield <- token{}
+	}()
+	fn(p)
+}
+
+// park returns control to the kernel loop and blocks until the kernel
+// resumes this process (or shuts down).
+func (p *Proc) park() {
+	p.k.yield <- token{}
+	select {
+	case <-p.resume:
+	case <-p.k.killed:
+		panic(killedPanic{})
+	}
+}
+
+// wake schedules this process to resume at the current virtual time.
+// It must only be called while the process is parked (or about to park,
+// within the same event): wake-ups are delivered through the event queue,
+// never synchronously, preserving one-process-at-a-time execution.
+func (p *Proc) wake() {
+	k := p.k
+	k.After(0, func() { k.step(p) })
+}
+
+// wakeAt schedules this process to resume at absolute time t.
+func (p *Proc) wakeAt(t Time) {
+	k := p.k
+	k.At(t, func() { k.step(p) })
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations sleep
+// zero time (but still yield to other ready processes).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.wakeAt(p.k.now + d)
+	p.park()
+}
+
+// Yield lets every other process that is ready at the current virtual time
+// run before this one continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Spawn starts a child process; sugar for p.Kernel().Spawn.
+func (p *Proc) Spawn(name string, fn func(*Proc)) *Proc {
+	return p.k.Spawn(name, fn)
+}

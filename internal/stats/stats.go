@@ -1,0 +1,132 @@
+// Package stats provides the latency recorder used by every experiment to
+// summarize simulated measurements (mean, percentiles, min/max), mirroring
+// how the paper reports averages over 1,000–10,000 trials.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Recorder accumulates duration samples. The zero value is unusable; create
+// one with NewRecorder. Recorders keep every sample (experiments record at
+// most tens of thousands), so percentiles are exact.
+type Recorder struct {
+	name    string
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewRecorder returns an empty recorder labeled name.
+func NewRecorder(name string) *Recorder {
+	return &Recorder{name: name}
+}
+
+// Name returns the recorder's label.
+func (r *Recorder) Name() string { return r.name }
+
+// Add records one sample.
+func (r *Recorder) Add(d time.Duration) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Mean returns the arithmetic mean (0 with no samples).
+func (r *Recorder) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.samples {
+		sum += float64(s)
+	}
+	return time.Duration(sum / float64(len(r.samples)))
+}
+
+// Min returns the smallest sample (0 with no samples).
+func (r *Recorder) Min() time.Duration {
+	r.sort()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.samples[0]
+}
+
+// Max returns the largest sample (0 with no samples).
+func (r *Recorder) Max() time.Duration {
+	r.sort()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.samples[len(r.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank interpolation. It returns 0 with no samples.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	r.sort()
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 100 {
+		return r.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return r.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return r.samples[lo] + time.Duration(frac*float64(r.samples[hi]-r.samples[lo]))
+}
+
+// Median returns the 50th percentile.
+func (r *Recorder) Median() time.Duration { return r.Percentile(50) }
+
+// Stddev returns the population standard deviation (0 with <2 samples).
+func (r *Recorder) Stddev() time.Duration {
+	n := len(r.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(r.Mean())
+	var ss float64
+	for _, s := range r.samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n)))
+}
+
+// Sum returns the total of all samples.
+func (r *Recorder) Sum() time.Duration {
+	var sum time.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum
+}
+
+// String summarizes the distribution.
+func (r *Recorder) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%v p50=%v p99=%v min=%v max=%v",
+		r.name, r.Count(), r.Mean(), r.Median(), r.Percentile(99), r.Min(), r.Max())
+}
+
+func (r *Recorder) sort() {
+	if r.sorted {
+		return
+	}
+	sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+	r.sorted = true
+}

@@ -1,0 +1,144 @@
+// Package trends reproduces Figure 1: Google Trends interest in
+// "Serverless" versus "Map Reduce"/"MapReduce", 2004 to publication.
+//
+// Google's query logs are proprietary, so the series here are synthetic but
+// shape-faithful reconstructions (documented substitution): MapReduce rises
+// after 2004, plateaus around 2012–2015, and declines; Serverless is near
+// zero until ~2015 and climbs steeply until, by late 2018, it matches
+// MapReduce's historic peak — which is the figure's entire point.
+package trends
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one quarter's interest score (Google Trends style, 0-100 scaled
+// to the all-time maximum across both series).
+type Point struct {
+	Year    int
+	Quarter int // 1-4
+	Value   float64
+}
+
+// Label formats the point's time as "2016Q3".
+func (p Point) Label() string { return fmt.Sprintf("%dQ%d", p.Year, p.Quarter) }
+
+// Series is a named sequence of quarterly points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Peak returns the maximum value and when it occurred.
+func (s Series) Peak() (float64, Point) {
+	var best Point
+	max := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.Value > max {
+			max = p.Value
+			best = p
+		}
+	}
+	return max, best
+}
+
+// Last returns the final point.
+func (s Series) Last() Point { return s.Points[len(s.Points)-1] }
+
+// quarters enumerates 2004Q1 .. 2018Q4.
+func quarters() []Point {
+	var pts []Point
+	for y := 2004; y <= 2018; y++ {
+		for q := 1; q <= 4; q++ {
+			pts = append(pts, Point{Year: y, Quarter: q})
+		}
+	}
+	return pts
+}
+
+// logistic is the S-curve both adoption ramps follow.
+func logistic(t, mid, rate float64) float64 {
+	return 1 / (1 + math.Exp(-rate*(t-mid)))
+}
+
+// MapReduce returns the synthetic "Map Reduce" interest series.
+func MapReduce() Series {
+	s := Series{Name: "MapReduce"}
+	for _, p := range quarters() {
+		t := float64(p.Year) + float64(p.Quarter-1)/4
+		// Ramp after the 2004 OSDI paper, peak ~2012-2015, slow decline.
+		rise := logistic(t, 2008.5, 1.1)
+		decline := 1 - 0.55*logistic(t, 2016.5, 1.3)
+		p.Value = 100 * rise * decline
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// Serverless returns the synthetic "Serverless" interest series.
+func Serverless() Series {
+	s := Series{Name: "Serverless"}
+	for _, p := range quarters() {
+		t := float64(p.Year) + float64(p.Quarter-1)/4
+		// Lambda launched late 2014; the term takes off ~2016 and by the
+		// paper's publication matches MapReduce's historic peak.
+		p.Value = 97 * logistic(t, 2016.8, 1.6)
+		s.Points = append(s.Points, p)
+	}
+	return s
+}
+
+// CrossoverQuarter returns the first point where serverless interest
+// exceeds MapReduce's, or nil if never.
+func CrossoverQuarter() *Point {
+	mr, sl := MapReduce(), Serverless()
+	for i := range sl.Points {
+		if sl.Points[i].Value > mr.Points[i].Value {
+			p := sl.Points[i]
+			return &p
+		}
+	}
+	return nil
+}
+
+// Chart renders both series as an ASCII chart of the given height.
+func Chart(height int) string {
+	if height < 4 {
+		height = 4
+	}
+	mr, sl := MapReduce(), Serverless()
+	n := len(mr.Points)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1: Google Trends (synthetic reconstruction), 2004-2018\n")
+	fmt.Fprintf(&b, "  M = MapReduce   S = Serverless   * = both\n\n")
+	for row := height; row >= 1; row-- {
+		lo := float64(row-1) * 100 / float64(height)
+		fmt.Fprintf(&b, "%3.0f |", lo)
+		for i := 0; i < n; i++ {
+			m := mr.Points[i].Value >= lo && mr.Points[i].Value > 0.5
+			s := sl.Points[i].Value >= lo && sl.Points[i].Value > 0.5
+			switch {
+			case m && s:
+				b.WriteByte('*')
+			case m:
+				b.WriteByte('M')
+			case s:
+				b.WriteByte('S')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    +")
+	b.WriteString(strings.Repeat("-", n))
+	b.WriteString("\n     ")
+	for i := 0; i < n; i += 8 {
+		label := fmt.Sprintf("%-8d", mr.Points[i].Year)
+		b.WriteString(label)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package trends
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesCoverage(t *testing.T) {
+	for _, s := range []Series{MapReduce(), Serverless()} {
+		if len(s.Points) != 60 { // 15 years x 4 quarters
+			t.Errorf("%s has %d points, want 60", s.Name, len(s.Points))
+		}
+		first, last := s.Points[0], s.Last()
+		if first.Year != 2004 || first.Quarter != 1 {
+			t.Errorf("%s starts at %s", s.Name, first.Label())
+		}
+		if last.Year != 2018 || last.Quarter != 4 {
+			t.Errorf("%s ends at %s", s.Name, last.Label())
+		}
+		for _, p := range s.Points {
+			if p.Value < 0 || p.Value > 100 {
+				t.Errorf("%s %s = %v out of [0,100]", s.Name, p.Label(), p.Value)
+			}
+		}
+	}
+}
+
+// The figure's headline: by publication, serverless queries match the
+// historic MapReduce peak.
+func TestServerlessMatchesMapReducePeakByPublication(t *testing.T) {
+	mrPeak, mrWhen := MapReduce().Peak()
+	slNow := Serverless().Last().Value
+	if ratio := slNow / mrPeak; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("serverless 2018Q4 (%.1f) vs MapReduce peak (%.1f at %s): ratio %.2f, want ~1",
+			slNow, mrPeak, mrWhen.Label(), ratio)
+	}
+}
+
+func TestMapReduceShape(t *testing.T) {
+	mr := MapReduce()
+	_, peak := mr.Peak()
+	if peak.Year < 2011 || peak.Year > 2016 {
+		t.Errorf("MapReduce peak at %s, want 2011-2016", peak.Label())
+	}
+	if early := mr.Points[0].Value; early > 5 {
+		t.Errorf("MapReduce 2004Q1 = %v, want near zero", early)
+	}
+	if last := mr.Last().Value; last >= peak.Value {
+		t.Error("MapReduce should decline from its peak")
+	}
+}
+
+func TestServerlessShape(t *testing.T) {
+	sl := Serverless()
+	at2014 := 0.0
+	for _, p := range sl.Points {
+		if p.Year == 2014 && p.Quarter == 4 {
+			at2014 = p.Value
+		}
+	}
+	if at2014 > 10 {
+		t.Errorf("serverless 2014Q4 = %v, want near zero (pre-takeoff)", at2014)
+	}
+	// Monotone growth after 2015.
+	var prev float64
+	for _, p := range sl.Points {
+		if p.Year >= 2015 {
+			if p.Value < prev {
+				t.Errorf("serverless declined at %s", p.Label())
+			}
+			prev = p.Value
+		}
+	}
+}
+
+func TestCrossoverHappensLate(t *testing.T) {
+	x := CrossoverQuarter()
+	if x == nil {
+		t.Fatal("serverless never crosses MapReduce")
+	}
+	if x.Year < 2016 || x.Year > 2018 {
+		t.Errorf("crossover at %s, want 2016-2018", x.Label())
+	}
+}
+
+func TestChartRenders(t *testing.T) {
+	c := Chart(10)
+	for _, want := range []string{"Figure 1", "M", "S", "2004"} {
+		if !strings.Contains(c, want) {
+			t.Errorf("chart missing %q:\n%s", want, c)
+		}
+	}
+	if lines := strings.Count(c, "\n"); lines < 12 {
+		t.Errorf("chart has %d lines, want >= 12", lines)
+	}
+	if tiny := Chart(1); !strings.Contains(tiny, "Figure 1") {
+		t.Error("minimum-height chart failed")
+	}
+}
