@@ -207,11 +207,34 @@ func BenchmarkAutoscaleUnderLoad(b *testing.B) {
 	b.ReportMetric(asMillis(b, headline(b, tables, "50 req/s", 4))/1000, "ec2-p99-s")
 }
 
+// BenchmarkRegionScaleKV runs the region-scale sharding scenario (no paper
+// counterpart; the ROADMAP's scaling direction): a 4,000 req/s open-loop
+// load against one logical KV table at growing shard counts, reporting
+// aggregate throughput at 1 and 4 shards and the measured speedup.
+func BenchmarkRegionScaleKV(b *testing.B) {
+	var tables []*core.Table
+	for i := 0; i < b.N; i++ {
+		tables = core.RunRegionScale(1)
+	}
+	rps := func(shardRow string) float64 {
+		v, err := strconv.ParseFloat(headline(b, tables, shardRow, 1), 64)
+		if err != nil {
+			b.Fatalf("cannot parse throughput for %s shards", shardRow)
+		}
+		return v
+	}
+	shard1, shard4 := rps("1"), rps("4")
+	b.ReportMetric(shard1, "shard1-rps")
+	b.ReportMetric(shard4, "shard4-rps")
+	b.ReportMetric(shard4/shard1, "speedup4-x")
+	b.ReportMetric(asMillis(b, headline(b, tables, "4", 4)), "shard4-p99-ms")
+}
+
 // sanity: experiments must be deterministic — identical output across runs
 // with the same seed. Guarded here (not in internal/core) so the bench
 // harness itself verifies reproducibility.
 func TestExperimentsDeterministic(t *testing.T) {
-	for _, id := range []string{"table1", "servingcost", "bandwidth"} {
+	for _, id := range []string{"table1", "servingcost", "bandwidth", "regionscale"} {
 		e, ok := core.ExperimentByID(id)
 		if !ok {
 			t.Fatalf("missing experiment %s", id)

@@ -119,6 +119,7 @@ func Experiments() []Experiment {
 		{ID: "future", Title: "§4: case studies on the forward-looking platform", Run: RunFuture},
 		{ID: "electionsweep", Title: "Sensitivity: election round vs polling rate", Run: RunElectionSweep},
 		{ID: "autoscale", Title: "§1.2: autoscaling under open-loop load (the step forward)", Run: RunAutoscale},
+		{ID: "regionscale", Title: "Region scale: sharded KV table under open-loop load", Run: RunRegionScale},
 	}
 }
 

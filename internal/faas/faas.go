@@ -50,8 +50,11 @@ type Function struct {
 	Timeout  time.Duration
 	Handler  Handler
 
-	// stats and reserved are platform-managed (see stats.go).
-	stats    FunctionStats
+	// stats and reserved are platform-managed (see stats.go). Both are
+	// shared across deployments of the same name: counters and the
+	// reserved-concurrency cap survive a Register replace, and in-flight
+	// invocations of a replaced version keep updating the same counters.
+	stats    *FunctionStats
 	reserved *sim.Resource
 }
 
@@ -177,6 +180,12 @@ func New(name string, net *netsim.Network, rng *simrand.RNG, cfg Config,
 
 // Register adds (or replaces) a function. Memory must be positive and the
 // timeout at most MaxTimeout; a zero timeout defaults to the maximum.
+//
+// Replacing an existing function drains its warm pool, like a real Lambda
+// deploy: idle containers hold the old handler's code and container-local
+// state, so the next invocation after a replace always cold-starts into the
+// new deployment. Containers mid-invocation at replace time finish on the
+// old code but are destroyed instead of re-pooled.
 func (pf *Platform) Register(fn Function) error {
 	if fn.Name == "" || fn.Handler == nil || fn.MemoryMB <= 0 {
 		return fmt.Errorf("faas: invalid function %q", fn.Name)
@@ -187,9 +196,32 @@ func (pf *Platform) Register(fn Function) error {
 	if fn.Timeout > pf.cfg.MaxTimeout {
 		return ErrBadTimeout
 	}
+	if old, replacing := pf.functions[fn.Name]; replacing {
+		pf.drainWarmPool(fn.Name)
+		// Reserved concurrency and CloudWatch-style counters are
+		// function-level configuration/history that survive a deploy.
+		fn.reserved = old.reserved
+		fn.stats = old.stats
+	} else {
+		fn.stats = &FunctionStats{}
+	}
 	pf.functions[fn.Name] = &fn
 	return nil
 }
+
+// drainWarmPool retires every idle container of the named function,
+// releasing their VM packing slots.
+func (pf *Platform) drainWarmPool(name string) {
+	for _, cont := range pf.idle[name] {
+		pf.removeFromVM(cont)
+	}
+	delete(pf.idle, name)
+}
+
+// WarmIdle reports how many containers (provisioned or not) are idle-warm
+// for the named function (test/observability hook; expired containers still
+// in the pool are counted until reaped).
+func (pf *Platform) WarmIdle(name string) int { return len(pf.idle[name]) }
 
 // VMCount reports how many hosting VMs have been allocated.
 func (pf *Platform) VMCount() int { return len(pf.vms) }
@@ -325,6 +357,12 @@ func (pf *Platform) pickVM() *hostVM {
 }
 
 func (pf *Platform) releaseContainer(p *sim.Proc, cont *container) {
+	if pf.functions[cont.fn.Name] != cont.fn {
+		// The function was replaced while this invocation ran; the
+		// container holds the old deployment and must not be pooled.
+		pf.destroyContainer(cont)
+		return
+	}
 	cont.lastUsed = p.Now()
 	pf.idle[cont.fn.Name] = append(pf.idle[cont.fn.Name], cont)
 }

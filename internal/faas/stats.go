@@ -40,13 +40,15 @@ func (s FunctionStats) MeanDuration() time.Duration {
 	return s.TotalTime / time.Duration(s.Invocations)
 }
 
-// Stats returns a copy of the named function's counters.
+// Stats returns a copy of the named function's counters. Counters are
+// cumulative across deployments: replacing a function with Register keeps
+// its history, like CloudWatch metrics keyed by function name.
 func (pf *Platform) Stats(name string) (FunctionStats, error) {
 	fn, ok := pf.functions[name]
 	if !ok {
 		return FunctionStats{}, fmt.Errorf("%w: %q", ErrNoSuchFunction, name)
 	}
-	return fn.stats, nil
+	return *fn.stats, nil
 }
 
 // SetReservedConcurrency caps the named function's simultaneous executions

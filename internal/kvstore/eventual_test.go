@@ -1,0 +1,188 @@
+package kvstore
+
+// Eventual-consistency edge cases: the brand-new-key window (a lagging
+// replica can miss a key that was only just created), disabled replication
+// lag, and TTL expiry as observed through Get and Scan. These are the
+// corners the election case study's correctness quietly depends on.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestEventualReadCanMissBrandNewKey: within the replication-lag window of
+// a key's *first* write there is no previous version to serve, so an
+// eventually consistent read may return ErrNotFound — and must never after
+// the window closes.
+func TestEventualReadCanMissBrandNewKey(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	misses, hits := 0, 0
+	f.k.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			key := fmt.Sprintf("fresh/%d", i)
+			if _, err := f.store.Put(p, f.caller, key, []byte("v")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			// The read lands ~5ms after the write, deep inside the
+			// 50ms replication window.
+			it, err := f.store.Get(p, f.caller, key, false)
+			switch {
+			case errors.Is(err, ErrNotFound):
+				misses++
+			case err != nil:
+				t.Fatalf("Get: %v", err)
+			case it.Version != 1:
+				t.Fatalf("phantom version %d", it.Version)
+			default:
+				hits++
+			}
+		}
+		// After the window, the key is always visible.
+		p.Sleep(100 * time.Millisecond)
+		for i := 0; i < 300; i++ {
+			if _, err := f.store.Get(p, f.caller, fmt.Sprintf("fresh/%d", i), false); err != nil {
+				t.Errorf("settled eventual read missed fresh/%d: %v", i, err)
+			}
+		}
+	})
+	f.k.Run()
+	if misses == 0 {
+		t.Error("no in-window eventual read missed a brand-new key; lag window inert")
+	}
+	if hits == 0 {
+		t.Error("every in-window eventual read missed; expected a mix")
+	}
+}
+
+// TestZeroReplicationLagReadsAreAlwaysFresh: ReplicationLag <= 0 disables
+// staleness entirely — eventual reads see every write immediately, new keys
+// included.
+func TestZeroReplicationLagReadsAreAlwaysFresh(t *testing.T) {
+	for _, lag := range []time.Duration{0, -time.Second} {
+		cfg := DefaultConfig()
+		cfg.ReplicationLag = lag
+		f := newFixture(t, cfg)
+		f.k.Spawn("c", func(p *sim.Proc) {
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k/%d", i)
+				if _, err := f.store.Put(p, f.caller, key, []byte("v1")); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+				if _, err := f.store.Put(p, f.caller, key, []byte("v2")); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+				it, err := f.store.Get(p, f.caller, key, false)
+				if err != nil {
+					t.Fatalf("lag=%v: eventual read missed %s: %v", lag, key, err)
+				}
+				if it.Version != 2 || string(it.Value) != "v2" {
+					t.Fatalf("lag=%v: stale read %+v with staleness disabled", lag, it)
+				}
+			}
+		})
+		f.k.Run()
+	}
+}
+
+// TestEventualReadCanServePreviousVersion: an overwrite inside the window
+// may surface the prior version, never anything older or newer.
+func TestEventualReadCanServePreviousVersion(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	sawOld, sawNew := 0, 0
+	f.k.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < 300; i++ {
+			key := fmt.Sprintf("ow/%d", i)
+			if _, err := f.store.Put(p, f.caller, key, []byte("v1")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			p.Sleep(60 * time.Millisecond) // settle the first write
+			if _, err := f.store.Put(p, f.caller, key, []byte("v2")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			it, err := f.store.Get(p, f.caller, key, false)
+			if err != nil {
+				t.Fatalf("overwritten key vanished: %v", err)
+			}
+			switch it.Version {
+			case 1:
+				sawOld++
+			case 2:
+				sawNew++
+			default:
+				t.Fatalf("impossible version %d", it.Version)
+			}
+		}
+	})
+	f.k.Run()
+	if sawOld == 0 || sawNew == 0 {
+		t.Errorf("in-window overwrite reads: %d old / %d new, want a mix", sawOld, sawNew)
+	}
+}
+
+// TestTTLExpiryObservedThroughGetAndScan: an expired record is invisible to
+// both access paths, reaped lazily, and both consistency levels agree.
+func TestTTLExpiryObservedThroughGetAndScan(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.k.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			if _, err := f.store.Put(p, f.caller, fmt.Sprintf("t/%d", i), []byte("v")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+		if err := f.store.SetTTL(p, f.caller, "t/1", 200*time.Millisecond); err != nil {
+			t.Fatalf("SetTTL: %v", err)
+		}
+		// Before expiry both paths still see it.
+		if _, err := f.store.Get(p, f.caller, "t/1", true); err != nil {
+			t.Errorf("pre-expiry Get: %v", err)
+		}
+		if n := len(f.store.Scan(p, f.caller, "t/")); n != 4 {
+			t.Errorf("pre-expiry scan n = %d, want 4", n)
+		}
+		p.Sleep(time.Second)
+		// Expired: strong read, eventual read, and scan all agree.
+		if _, err := f.store.Get(p, f.caller, "t/1", true); !errors.Is(err, ErrNotFound) {
+			t.Errorf("post-expiry consistent Get err = %v, want ErrNotFound", err)
+		}
+		if _, err := f.store.Get(p, f.caller, "t/1", false); !errors.Is(err, ErrNotFound) {
+			t.Errorf("post-expiry eventual Get err = %v, want ErrNotFound", err)
+		}
+		if n := len(f.store.Scan(p, f.caller, "t/")); n != 3 {
+			t.Errorf("post-expiry scan n = %d, want 3", n)
+		}
+	})
+	f.k.Run()
+	if f.store.Len() != 3 {
+		t.Errorf("Len after lazy reap = %d, want 3", f.store.Len())
+	}
+}
+
+// TestTTLExpiryOnShardedTable: lazy TTL reaping stays shard-local and
+// correct when the key space is partitioned.
+func TestTTLExpiryOnShardedTable(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ShardCount = 4
+	f := newFixture(t, cfg)
+	f.k.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < 16; i++ {
+			if _, err := f.store.Put(p, f.caller, fmt.Sprintf("t/%d", i), []byte("v")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if err := f.store.SetTTL(p, f.caller, fmt.Sprintf("t/%d", i), 200*time.Millisecond); err != nil {
+				t.Fatalf("SetTTL: %v", err)
+			}
+		}
+		p.Sleep(time.Second)
+		if n := len(f.store.Scan(p, f.caller, "t/")); n != 0 {
+			t.Errorf("post-expiry sharded scan n = %d, want 0", n)
+		}
+	})
+	f.k.Run()
+	if f.store.Len() != 0 {
+		t.Errorf("Len after sharded reap = %d, want 0", f.store.Len())
+	}
+}

@@ -6,6 +6,13 @@
 // It is the "blackboard" medium the paper's leader-election case study
 // forces all communication through, and one of the two storage columns in
 // Table 1 (11 ms for a 1KB write+read pair).
+//
+// The table can be horizontally sharded (Config.ShardCount): keys hash to
+// one of N partitions, each with its own front-end node, NIC, record map
+// and service-time stream, mirroring how DynamoDB actually spreads a table
+// over partitions with per-partition throughput ceilings. ShardCount 1 (the
+// calibrated default) reproduces the original single-node behavior bit for
+// bit; see shard.go for routing and the hot-shard stats surface.
 package kvstore
 
 import (
@@ -17,6 +24,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/pricing"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/simrand"
 )
@@ -59,8 +67,22 @@ type Config struct {
 	// able to return the previous version of a recently written key.
 	ReplicationLag time.Duration
 
-	// NICBps is the front end's aggregate network capacity.
+	// NICBps is each front end's aggregate network capacity.
 	NICBps netsim.Bps
+
+	// ShardCount splits the table into this many hash partitions, each
+	// with its own front-end node, NIC, record map and RNG fork. Values
+	// below 1 mean 1. With a single shard the store is byte-identical to
+	// the unsharded original under the same seed.
+	ShardCount int
+
+	// ShardConcurrency caps how many requests one shard's front end can
+	// have in service simultaneously; excess requests queue FIFO at that
+	// shard. 0 (the calibrated default) means unlimited, which keeps the
+	// Table-1 numbers exact. Finite values give each partition a real
+	// throughput ceiling — the per-partition capacity limit that makes
+	// sharding matter at region scale.
+	ShardConcurrency int
 }
 
 // DefaultConfig returns the calibrated configuration.
@@ -70,6 +92,7 @@ func DefaultConfig() Config {
 		ScanPerItem:    3 * time.Microsecond,
 		ReplicationLag: 50 * time.Millisecond,
 		NICBps:         netsim.Gbps(400),
+		ShardCount:     1,
 	}
 }
 
@@ -80,50 +103,59 @@ type record struct {
 	expiresAt sim.Time // 0 = no TTL
 }
 
-// Store is a simulated key-value table.
-type Store struct {
-	name    string
-	net     *netsim.Network
-	node    *netsim.Node
-	rng     *simrand.RNG
-	cfg     Config
-	catalog *pricing.Catalog
-	meter   *pricing.Meter
-	items   recordMap
+// shard is one hash partition: a front end plus its slice of the key space.
+type shard struct {
+	fe    *service.Frontend
+	items recordMap
 }
 
-// New creates a table attached to the network in rack `rack`.
+// Store is a simulated key-value table, split over one or more shards.
+type Store struct {
+	name   string
+	cfg    Config
+	shards []*shard
+}
+
+// New creates a table attached to the network in rack `rack`. With
+// ShardCount 1 the single front end is named `name` and consumes rng
+// directly (preserving seed-for-seed compatibility); with more shards each
+// partition gets a forked stream and a node named `name-s<i>`.
 func New(name string, net *netsim.Network, rack int, rng *simrand.RNG,
 	cfg Config, catalog *pricing.Catalog, meter *pricing.Meter) *Store {
-	return &Store{
-		name:    name,
-		net:     net,
-		node:    net.NewNode(name, rack, cfg.NICBps),
-		rng:     rng,
-		cfg:     cfg,
-		catalog: catalog,
-		meter:   meter,
-		items:   make(map[string]*record),
+	n := cfg.ShardCount
+	if n < 1 {
+		n = 1
 	}
+	s := &Store{name: name, cfg: cfg, shards: make([]*shard, n)}
+	for i := range s.shards {
+		feName, feRNG := name, rng
+		if n > 1 {
+			feName = fmt.Sprintf("%s-s%d", name, i)
+			feRNG = rng.Fork()
+		}
+		fe := service.NewFrontend(feName, net, rack, feRNG, cfg.OpLatency,
+			cfg.NICBps, catalog, meter)
+		if cfg.ShardConcurrency > 0 {
+			fe.LimitConcurrency(cfg.ShardConcurrency)
+		}
+		s.shards[i] = &shard{fe: fe, items: make(recordMap)}
+	}
+	return s
 }
 
-// Node returns the table's network endpoint.
-func (s *Store) Node() *netsim.Node { return s.node }
-
-func (s *Store) roundTrip(p *sim.Proc, caller *netsim.Node, extra time.Duration) {
-	p.Sleep(s.net.OneWayDelay(caller, s.node))
-	p.Sleep(s.cfg.OpLatency.Sample(s.rng) + extra)
-	p.Sleep(s.net.OneWayDelay(s.node, caller))
-}
+// Node returns the first shard's network endpoint (the table's endpoint
+// when unsharded). Per-shard endpoints are available via ShardNode.
+func (s *Store) Node() *netsim.Node { return s.shards[0].fe.Node() }
 
 // Get reads a key. With consistent=false the read is eventually consistent:
 // within the replication-lag window of a write it may return the previous
 // version (or miss a brand-new key). Metering follows DynamoDB on-demand
 // read units (half units for eventual reads).
 func (s *Store) Get(p *sim.Proc, caller *netsim.Node, key string, consistent bool) (Item, error) {
-	s.roundTrip(p, caller, 0)
-	rec, ok := s.items[key]
-	if ok && s.expired(p.Now(), rec) {
+	sh := s.shardFor(key)
+	sh.fe.RoundTrip(p, caller, 0)
+	rec, ok := sh.items[key]
+	if ok && s.expired(sh, p.Now(), rec) {
 		ok = false
 	}
 	var it Item
@@ -134,14 +166,14 @@ func (s *Store) Get(p *sim.Proc, caller *netsim.Node, key string, consistent boo
 	case consistent:
 		it, found = rec.item, true
 	default:
-		it, found = s.eventualView(p.Now(), rec)
+		it, found = s.eventualView(sh, p.Now(), rec)
 	}
 	size := int64(0)
 	if found {
 		size = it.Size()
 	}
-	s.meter.Charge("dynamodb.read", pricing.DynamoReadUnits(size, consistent),
-		s.catalog.DynamoReadPerUnit)
+	sh.fe.Charge("dynamodb.read", pricing.DynamoReadUnits(size, consistent),
+		sh.fe.Catalog().DynamoReadPerUnit)
 	if !found {
 		return Item{}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
@@ -149,12 +181,12 @@ func (s *Store) Get(p *sim.Proc, caller *netsim.Node, key string, consistent boo
 }
 
 // eventualView resolves what an eventually consistent read of rec observes.
-func (s *Store) eventualView(now sim.Time, rec *record) (Item, bool) {
+func (s *Store) eventualView(sh *shard, now sim.Time, rec *record) (Item, bool) {
 	if s.cfg.ReplicationLag <= 0 || now-rec.writtenAt >= s.cfg.ReplicationLag {
 		return rec.item, true
 	}
 	remain := float64(s.cfg.ReplicationLag-(now-rec.writtenAt)) / float64(s.cfg.ReplicationLag)
-	if s.rng.Float64() < remain {
+	if sh.fe.RNG().Float64() < remain {
 		if rec.prev == nil {
 			return Item{}, false // key did not exist on the lagging replica
 		}
@@ -182,11 +214,12 @@ func (s *Store) write(p *sim.Proc, caller *netsim.Node, key string,
 	if int64(len(key))+int64(len(value)) > MaxItemSize {
 		return Item{}, ErrItemTooLarge
 	}
-	s.roundTrip(p, caller, 0)
+	sh := s.shardFor(key)
+	sh.fe.RoundTrip(p, caller, 0)
 	size := int64(len(key) + len(value))
-	s.meter.Charge("dynamodb.write", pricing.DynamoWriteUnits(size),
-		s.catalog.DynamoWritePerUnit)
-	rec := s.items[key]
+	sh.fe.Charge("dynamodb.write", pricing.DynamoWriteUnits(size),
+		sh.fe.Catalog().DynamoWritePerUnit)
+	rec := sh.items[key]
 	var curVer int64
 	if rec != nil {
 		curVer = rec.item.Version
@@ -201,41 +234,54 @@ func (s *Store) write(p *sim.Proc, caller *netsim.Node, key string,
 		prevCopy := rec.item
 		prev = &prevCopy
 	}
-	s.items[key] = &record{item: it, prev: prev, writtenAt: p.Now()}
+	sh.items[key] = &record{item: it, prev: prev, writtenAt: p.Now()}
 	return it, nil
 }
 
 // Delete removes a key; deleting a missing key is not an error.
 func (s *Store) Delete(p *sim.Proc, caller *netsim.Node, key string) {
-	s.roundTrip(p, caller, 0)
+	sh := s.shardFor(key)
+	sh.fe.RoundTrip(p, caller, 0)
 	var size int64 = 0
-	if rec, ok := s.items[key]; ok {
+	if rec, ok := sh.items[key]; ok {
 		size = rec.item.Size()
 	}
-	s.meter.Charge("dynamodb.write", pricing.DynamoWriteUnits(size),
-		s.catalog.DynamoWritePerUnit)
-	delete(s.items, key)
+	sh.fe.Charge("dynamodb.write", pricing.DynamoWriteUnits(size),
+		sh.fe.Catalog().DynamoWritePerUnit)
+	delete(sh.items, key)
 }
 
 // Scan returns all items whose keys start with prefix, sorted by key,
 // always strongly consistent. Read units are charged on the total bytes
 // scanned — this is what makes fine-grained polling of a large blackboard
-// so expensive in the election case study.
+// so expensive in the election case study. On a sharded table the scan
+// visits every shard in order (one round trip each) and merges the results.
 func (s *Store) Scan(p *sim.Proc, caller *netsim.Node, prefix string) []Item {
 	var out []Item
-	var bytes int64
-	for k, rec := range s.items {
-		if strings.HasPrefix(k, prefix) && !s.expired(p.Now(), rec) {
-			out = append(out, rec.item)
-			bytes += rec.item.Size()
+	for _, sh := range s.shards {
+		var bytes int64
+		shardStart := len(out)
+		for k, rec := range sh.items {
+			if strings.HasPrefix(k, prefix) && !s.expired(sh, p.Now(), rec) {
+				out = append(out, rec.item)
+				bytes += rec.item.Size()
+			}
 		}
+		sh.fe.RoundTrip(p, caller,
+			time.Duration(len(out)-shardStart)*s.cfg.ScanPerItem)
+		sh.fe.Charge("dynamodb.read", pricing.DynamoReadUnits(bytes, true),
+			sh.fe.Catalog().DynamoReadPerUnit)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	s.roundTrip(p, caller, time.Duration(len(out))*s.cfg.ScanPerItem)
-	s.meter.Charge("dynamodb.read", pricing.DynamoReadUnits(bytes, true),
-		s.catalog.DynamoReadPerUnit)
 	return out
 }
 
-// Len reports the number of stored keys (test hook; no simulated latency).
-func (s *Store) Len() int { return len(s.items) }
+// Len reports the number of stored keys across all shards (test hook; no
+// simulated latency).
+func (s *Store) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += len(sh.items)
+	}
+	return n
+}

@@ -1,0 +1,87 @@
+package kvstore
+
+// Shard routing and the hot-shard observability surface. Keys map to
+// partitions by FNV-1a hash, the stable, dependency-free choice: the same
+// key always lands on the same shard for a given shard count, across stores
+// and across runs.
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// fnv1a64 hashes key with the 64-bit FNV-1a function.
+func fnv1a64(key string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardIndex maps key to a partition index in [0, n).
+func shardIndex(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(fnv1a64(key) % uint64(n))
+}
+
+// shardFor returns the shard owning key.
+func (s *Store) shardFor(key string) *shard {
+	return s.shards[shardIndex(key, len(s.shards))]
+}
+
+// ShardCount reports how many partitions the table has.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ShardFor reports which partition owns key (routing test hook).
+func (s *Store) ShardFor(key string) int {
+	return shardIndex(key, len(s.shards))
+}
+
+// ShardNode returns partition i's network endpoint.
+func (s *Store) ShardNode(i int) *netsim.Node { return s.shards[i].fe.Node() }
+
+// ShardStat summarizes one partition's traffic — the hot-shard surface a
+// region operator would watch.
+type ShardStat struct {
+	Shard    int
+	Node     string        // front-end node name
+	Requests int64         // API round trips served by this shard
+	Busy     time.Duration // cumulative service time spent
+	Queued   int           // requests currently waiting for a service slot
+	Items    int           // keys resident on this shard
+}
+
+// ShardStats returns per-partition traffic counters, indexed by shard.
+func (s *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, sh := range s.shards {
+		fs := sh.fe.Stats()
+		out[i] = ShardStat{
+			Shard:    i,
+			Node:     sh.fe.Name(),
+			Requests: fs.Requests,
+			Busy:     fs.Busy,
+			Queued:   sh.fe.QueueDepth(),
+			Items:    len(sh.items),
+		}
+	}
+	return out
+}
+
+// HottestShard returns the partition with the most requests served — ties
+// broken toward the lowest index.
+func (s *Store) HottestShard() ShardStat {
+	stats := s.ShardStats()
+	hot := stats[0]
+	for _, st := range stats[1:] {
+		if st.Requests > hot.Requests {
+			hot = st
+		}
+	}
+	return hot
+}

@@ -29,8 +29,8 @@ func (s *Store) GetRange(p *sim.Proc, caller *netsim.Node, key string, offset, l
 	if offset < 0 || length <= 0 {
 		return Object{}, ErrBadRange
 	}
-	s.meter.Charge("s3.get", 1, s.catalog.S3GetPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.get", 1, s.fe.Catalog().S3GetPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	obj, ok := s.visible(p.Now(), key)
 	if !ok {
 		return Object{}, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -63,8 +63,8 @@ func (u *Upload) ID() string { return u.id }
 
 // CreateUpload starts a multipart upload for key.
 func (s *Store) CreateUpload(p *sim.Proc, caller *netsim.Node, key string) *Upload {
-	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.put", 1, s.fe.Catalog().S3PutPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	s.nextVer++
 	u := &Upload{store: s, key: key, id: fmt.Sprintf("upload-%d", s.nextVer)}
 	s.uploads[u.id] = u
@@ -84,8 +84,8 @@ func (s *Store) UploadPart(p *sim.Proc, caller *netsim.Node, u *Upload, partNum 
 	if partNum != len(u.parts)+1 {
 		return fmt.Errorf("%w: got part %d, want %d", ErrPartOutOfOrder, partNum, len(u.parts)+1)
 	}
-	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.put", 1, s.fe.Catalog().S3PutPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	s.stream(p, caller, size)
 	u.parts = append(u.parts, size)
 	return nil
@@ -100,8 +100,8 @@ func (s *Store) CompleteUpload(p *sim.Proc, caller *netsim.Node, u *Upload) (Obj
 	if u.completed {
 		return Object{}, ErrUploadCompleted
 	}
-	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.put", 1, s.fe.Catalog().S3PutPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	var total int64
 	for _, sz := range u.parts {
 		total += sz
@@ -123,8 +123,8 @@ func (s *Store) AbortUpload(p *sim.Proc, caller *netsim.Node, u *Upload) error {
 	if s.uploads[u.id] != u {
 		return ErrUploadNotFound
 	}
-	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.put", 1, s.fe.Catalog().S3PutPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	u.completed = true
 	delete(s.uploads, u.id)
 	return nil

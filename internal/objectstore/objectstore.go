@@ -7,6 +7,10 @@
 // models) or be "sized" — metadata-only objects standing in for bulk data
 // such as the 90 GB training corpus, which it would be pointless to
 // materialize. Transfer timing is identical either way.
+//
+// The endpoint node, request round trip, and metering all live in the
+// shared service layer (internal/service); this package owns only what is
+// S3-specific: object versions, streaming, range reads, and multipart.
 package objectstore
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/pricing"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/simrand"
 )
@@ -72,13 +77,8 @@ type version struct {
 
 // Store is a simulated object store.
 type Store struct {
-	name    string
-	net     *netsim.Network
-	node    *netsim.Node
-	rng     *simrand.RNG
-	cfg     Config
-	catalog *pricing.Catalog
-	meter   *pricing.Meter
+	fe  *service.Frontend
+	cfg Config
 
 	// objects maps key -> version history (latest last). History beyond
 	// the staleness window is pruned on write.
@@ -91,31 +91,19 @@ type Store struct {
 func New(name string, net *netsim.Network, rack int, rng *simrand.RNG,
 	cfg Config, catalog *pricing.Catalog, meter *pricing.Meter) *Store {
 	return &Store{
-		name:    name,
-		net:     net,
-		node:    net.NewNode(name, rack, cfg.NICBps),
-		rng:     rng,
+		fe: service.NewFrontend(name, net, rack, rng, cfg.OpLatency,
+			cfg.NICBps, catalog, meter),
 		cfg:     cfg,
-		catalog: catalog,
-		meter:   meter,
 		objects: make(map[string][]version),
 		uploads: make(map[string]*Upload),
 	}
 }
 
 // Node returns the store's network endpoint.
-func (s *Store) Node() *netsim.Node { return s.node }
+func (s *Store) Node() *netsim.Node { return s.fe.Node() }
 
 // Meter returns the store's cost meter.
-func (s *Store) Meter() *pricing.Meter { return s.meter }
-
-// serviceTime sleeps through one request's round trip: propagation to the
-// front end, service latency, and propagation back.
-func (s *Store) serviceTime(p *sim.Proc, caller *netsim.Node) {
-	p.Sleep(s.net.OneWayDelay(caller, s.node))
-	p.Sleep(s.cfg.OpLatency.Sample(s.rng))
-	p.Sleep(s.net.OneWayDelay(s.node, caller))
-}
+func (s *Store) Meter() *pricing.Meter { return s.fe.Meter() }
 
 // stream moves size bytes between caller and store through the caller's NIC,
 // the store's NIC and a fresh per-connection throughput limiter.
@@ -123,8 +111,9 @@ func (s *Store) stream(p *sim.Proc, caller *netsim.Node, size int64) {
 	if size <= 0 {
 		return
 	}
-	conn := s.net.Fabric().NewLink(s.name+"/conn", s.cfg.PerConnBps)
-	s.net.Fabric().Transfer(p, size, caller.NIC(), s.node.NIC(), conn)
+	fabric := s.fe.Net().Fabric()
+	conn := fabric.NewLink(s.fe.Name()+"/conn", s.cfg.PerConnBps)
+	fabric.Transfer(p, size, caller.NIC(), s.fe.Node().NIC(), conn)
 }
 
 // Put stores data under key, blocking the caller for the upload.
@@ -142,8 +131,8 @@ func (s *Store) PutSized(p *sim.Proc, caller *netsim.Node, key string, size int6
 }
 
 func (s *Store) put(p *sim.Proc, caller *netsim.Node, key string, size int64, data []byte) Object {
-	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.put", 1, s.fe.Catalog().S3PutPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	s.stream(p, caller, size)
 	s.nextVer++
 	obj := Object{Key: key, Size: size, Data: data, Version: s.nextVer}
@@ -160,8 +149,8 @@ func (s *Store) put(p *sim.Proc, caller *netsim.Node, key string, size int64, da
 // Under eventual overwrite consistency, a recent overwrite may yield the
 // previous version.
 func (s *Store) Get(p *sim.Proc, caller *netsim.Node, key string) (Object, error) {
-	s.meter.Charge("s3.get", 1, s.catalog.S3GetPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.get", 1, s.fe.Catalog().S3GetPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	obj, ok := s.visible(p.Now(), key)
 	if !ok {
 		return Object{}, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -183,7 +172,7 @@ func (s *Store) visible(now sim.Time, key string) (Object, bool) {
 		// probability proportional to remaining window.
 		remain := float64(s.cfg.OverwriteStaleness-(now-latest.writtenAt)) /
 			float64(s.cfg.OverwriteStaleness)
-		if s.rng.Float64() < remain {
+		if s.fe.RNG().Float64() < remain {
 			return hist[len(hist)-2].obj, true
 		}
 	}
@@ -192,8 +181,8 @@ func (s *Store) visible(now sim.Time, key string) (Object, bool) {
 
 // Head returns object metadata without transferring the payload.
 func (s *Store) Head(p *sim.Proc, caller *netsim.Node, key string) (Object, error) {
-	s.meter.Charge("s3.get", 1, s.catalog.S3GetPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.get", 1, s.fe.Catalog().S3GetPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	obj, ok := s.visible(p.Now(), key)
 	if !ok {
 		return Object{}, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -204,15 +193,15 @@ func (s *Store) Head(p *sim.Proc, caller *netsim.Node, key string) (Object, erro
 
 // Delete removes key. Deleting a missing key is not an error (like S3).
 func (s *Store) Delete(p *sim.Proc, caller *netsim.Node, key string) {
-	s.meter.Charge("s3.put", 1, s.catalog.S3PutPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.put", 1, s.fe.Catalog().S3PutPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	delete(s.objects, key)
 }
 
 // List returns the keys with the given prefix, sorted, without payloads.
 func (s *Store) List(p *sim.Proc, caller *netsim.Node, prefix string) []string {
-	s.meter.Charge("s3.get", 1, s.catalog.S3GetPerRequest)
-	s.serviceTime(p, caller)
+	s.fe.Charge("s3.get", 1, s.fe.Catalog().S3GetPerRequest)
+	s.fe.RoundTrip(p, caller, 0)
 	var keys []string
 	for k := range s.objects {
 		if strings.HasPrefix(k, prefix) {

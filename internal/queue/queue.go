@@ -6,6 +6,10 @@
 // SQS is the paper's "favored service for batching inputs" in the prediction
 // serving case study, and the per-request price is what makes the 1M msg/s
 // scenario cost $1,584/hr.
+//
+// The endpoint node, request round trip, and metering all live in the
+// shared service layer (internal/service); this package owns only what is
+// SQS-specific: queues, visibility timeouts, long polling, and redrive.
 package queue
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/pricing"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/simrand"
 )
@@ -72,33 +77,24 @@ func DefaultConfig() Config {
 
 // Service is a simulated SQS endpoint hosting any number of named queues.
 type Service struct {
-	name    string
-	net     *netsim.Network
-	node    *netsim.Node
-	rng     *simrand.RNG
-	cfg     Config
-	catalog *pricing.Catalog
-	meter   *pricing.Meter
-	queues  map[string]*Queue
+	fe     *service.Frontend
+	cfg    Config
+	queues map[string]*Queue
 }
 
 // NewService creates an SQS endpoint attached to the network.
 func NewService(name string, net *netsim.Network, rack int, rng *simrand.RNG,
 	cfg Config, catalog *pricing.Catalog, meter *pricing.Meter) *Service {
 	return &Service{
-		name:    name,
-		net:     net,
-		node:    net.NewNode(name, rack, cfg.NICBps),
-		rng:     rng,
-		cfg:     cfg,
-		catalog: catalog,
-		meter:   meter,
-		queues:  make(map[string]*Queue),
+		fe: service.NewFrontend(name, net, rack, rng, cfg.OpLatency,
+			cfg.NICBps, catalog, meter),
+		cfg:    cfg,
+		queues: make(map[string]*Queue),
 	}
 }
 
 // Node returns the service's network endpoint.
-func (s *Service) Node() *netsim.Node { return s.node }
+func (s *Service) Node() *netsim.Node { return s.fe.Node() }
 
 // CreateQueue creates (or returns) the named queue with the given
 // visibility timeout for received-but-undeleted messages.
@@ -154,10 +150,9 @@ func (q *Queue) request(p *sim.Proc, caller *netsim.Node, payload int64) {
 	if payload > billingChunk {
 		requests = (payload + billingChunk - 1) / billingChunk
 	}
-	q.svc.meter.Charge("sqs.request", requests, q.svc.catalog.SQSPerRequest)
-	p.Sleep(q.svc.net.OneWayDelay(caller, q.svc.node))
-	p.Sleep(q.svc.cfg.OpLatency.Sample(q.svc.rng))
-	p.Sleep(q.svc.net.OneWayDelay(q.svc.node, caller))
+	fe := q.svc.fe
+	fe.Charge("sqs.request", requests, fe.Catalog().SQSPerRequest)
+	fe.RoundTrip(p, caller, 0)
 }
 
 // Send enqueues one message and returns its ID.
@@ -215,9 +210,10 @@ func (q *Queue) Receive(p *sim.Proc, caller *netsim.Node, max int, wait time.Dur
 	if max <= 0 || max > MaxBatch {
 		return nil, ErrBatchTooBig
 	}
-	q.svc.meter.Charge("sqs.request", 1, q.svc.catalog.SQSPerRequest)
-	service := q.svc.cfg.OpLatency.Sample(q.svc.rng)
-	p.Sleep(q.svc.net.OneWayDelay(caller, q.svc.node) + service/2)
+	fe := q.svc.fe
+	fe.Charge("sqs.request", 1, fe.Catalog().SQSPerRequest)
+	service := fe.SampleOp()
+	fe.InLeg(p, caller, service/2)
 	deadline := p.Now() + wait
 	for len(q.available) == 0 && p.Now() < deadline {
 		w := &sim.Latch{}
@@ -246,7 +242,7 @@ func (q *Queue) Receive(p *sim.Proc, caller *netsim.Node, max int, wait time.Dur
 			Attempts: m.attempts,
 		})
 	}
-	p.Sleep(service/2 + q.svc.net.OneWayDelay(q.svc.node, caller))
+	fe.OutLeg(p, caller, service/2)
 	return msgs, nil
 }
 

@@ -1,0 +1,165 @@
+// Package service is the shared front-end fabric for the simulated managed
+// services (kvstore, objectstore, queue). Each service front end owns the
+// same four things — a network endpoint, a deterministic service-time
+// stream, pricing/metering hooks, and (optionally) a finite number of
+// request slots — and before this package existed each service reimplemented
+// them with copy-pasted round-trip boilerplate.
+//
+// A Frontend models one endpoint node: requests pay a one-way propagation
+// delay in, a sampled op-latency service time, and a one-way delay back.
+// Services that split their service time around a blocking poll (SQS long
+// polling) use SampleOp with the InLeg/OutLeg halves instead of RoundTrip.
+//
+// With LimitConcurrency set, the front end becomes a finite-capacity
+// server: at most n requests are in service simultaneously and the rest
+// queue FIFO. This is what gives a single partition a real throughput
+// ceiling — and what makes horizontal sharding (multiple frontends behind
+// one logical service) show up as aggregate capacity in the region-scale
+// benchmark. The default (unlimited) preserves the calibrated Table-1
+// behavior bit for bit.
+package service
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// Stats summarizes a front end's request traffic (the hot-shard surface).
+type Stats struct {
+	// Requests counts service-time samples, i.e. API round trips served.
+	Requests int64
+	// Busy is the cumulative service time spent on those requests.
+	Busy time.Duration
+}
+
+// Frontend is one service endpoint: a node on the network, an op-latency
+// distribution sampled from its own RNG stream, and metering hooks.
+type Frontend struct {
+	name    string
+	net     *netsim.Network
+	node    *netsim.Node
+	rng     *simrand.RNG
+	opLat   simrand.Dist
+	catalog *pricing.Catalog
+	meter   *pricing.Meter
+	slots   *sim.Resource // nil = unlimited concurrency
+	stats   Stats
+}
+
+// NewFrontend registers a front-end node named name in rack rack with a NIC
+// of capacity nic. Service times are drawn from opLat using rng; charges go
+// to meter at catalog prices.
+func NewFrontend(name string, net *netsim.Network, rack int, rng *simrand.RNG,
+	opLat simrand.Dist, nic netsim.Bps, catalog *pricing.Catalog,
+	meter *pricing.Meter) *Frontend {
+	return &Frontend{
+		name:    name,
+		net:     net,
+		node:    net.NewNode(name, rack, nic),
+		rng:     rng,
+		opLat:   opLat,
+		catalog: catalog,
+		meter:   meter,
+	}
+}
+
+// LimitConcurrency caps how many requests may be in service at once; excess
+// requests queue FIFO at the front end. n <= 0 restores the unlimited
+// default. Call before traffic starts.
+//
+// The cap applies to RoundTrip only. The split-leg path (SampleOp +
+// InLeg/OutLeg) deliberately bypasses it: a long poll parks at the front
+// end for up to its wait time, and counting that parked time against a
+// service slot would let idle pollers starve real requests.
+func (f *Frontend) LimitConcurrency(n int) {
+	if n <= 0 {
+		f.slots = nil
+		return
+	}
+	f.slots = sim.NewResource(n)
+}
+
+// Name returns the front end's node name.
+func (f *Frontend) Name() string { return f.name }
+
+// Node returns the front end's network endpoint.
+func (f *Frontend) Node() *netsim.Node { return f.node }
+
+// Net returns the network the front end is attached to.
+func (f *Frontend) Net() *netsim.Network { return f.net }
+
+// RNG returns the front end's private random stream (for service-side
+// probabilistic behavior such as stale-replica reads).
+func (f *Frontend) RNG() *simrand.RNG { return f.rng }
+
+// Catalog returns the price catalog charges are computed from.
+func (f *Frontend) Catalog() *pricing.Catalog { return f.catalog }
+
+// Meter returns the cost meter charges accumulate on.
+func (f *Frontend) Meter() *pricing.Meter { return f.meter }
+
+// Stats returns the front end's traffic counters.
+func (f *Frontend) Stats() Stats { return f.stats }
+
+// QueueDepth reports how many requests are waiting for a service slot
+// (always 0 without LimitConcurrency).
+func (f *Frontend) QueueDepth() int {
+	if f.slots == nil {
+		return 0
+	}
+	return f.slots.Waiting()
+}
+
+// Charge records count units of item at unitCost each on the meter.
+func (f *Frontend) Charge(item string, count int64, unitCost pricing.USD) {
+	f.meter.Charge(item, count, unitCost)
+}
+
+// ChargeCost records a lump-sum cost against item.
+func (f *Frontend) ChargeCost(item string, cost pricing.USD) {
+	f.meter.ChargeCost(item, cost)
+}
+
+// SampleOp draws one service time and accounts it to the front end's stats.
+// Requests that split their service time around a poll (long polling) call
+// this once and spend the halves via InLeg/OutLeg.
+func (f *Frontend) SampleOp() time.Duration {
+	svc := f.opLat.Sample(f.rng)
+	f.stats.Requests++
+	f.stats.Busy += svc
+	return svc
+}
+
+// RoundTrip models one complete request from caller: propagation to the
+// front end, service time (plus extra, e.g. per-item scan cost), and
+// propagation back. With LimitConcurrency set, the service-time portion
+// occupies one of the finite slots.
+func (f *Frontend) RoundTrip(p *sim.Proc, caller *netsim.Node, extra time.Duration) {
+	p.Sleep(f.net.OneWayDelay(caller, f.node))
+	if f.slots != nil {
+		f.slots.Acquire(p)
+	}
+	svc := f.SampleOp()
+	f.stats.Busy += extra
+	p.Sleep(svc + extra)
+	if f.slots != nil {
+		f.slots.Release()
+	}
+	p.Sleep(f.net.OneWayDelay(f.node, caller))
+}
+
+// InLeg spends the request leg of a split round trip: propagation from the
+// caller plus the given share of service time, as one sleep.
+func (f *Frontend) InLeg(p *sim.Proc, caller *netsim.Node, service time.Duration) {
+	p.Sleep(f.net.OneWayDelay(caller, f.node) + service)
+}
+
+// OutLeg spends the response leg of a split round trip: the remaining
+// service time plus propagation back to the caller, as one sleep.
+func (f *Frontend) OutLeg(p *sim.Proc, caller *netsim.Node, service time.Duration) {
+	p.Sleep(service + f.net.OneWayDelay(f.node, caller))
+}
