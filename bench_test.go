@@ -230,11 +230,35 @@ func BenchmarkRegionScaleKV(b *testing.B) {
 	b.ReportMetric(asMillis(b, headline(b, tables, "4", 4)), "shard4-p99-ms")
 }
 
+// BenchmarkFaaSScale runs the FaaS serving-tier scaling scenario (no paper
+// counterpart; the ROADMAP's scaling direction): flash-crowd load through
+// SQS -> Lambda -> sharded kvstore at growing provisioned concurrency,
+// reporting the cold-start fraction and tail latency at the sweep's ends
+// plus the autoscaled point's hourly cost.
+func BenchmarkFaaSScale(b *testing.B) {
+	var tables []*core.Table
+	for i := 0; i < b.N; i++ {
+		tables = core.RunFaaSScale(1)
+	}
+	coldPct := func(row string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(headline(b, tables, row, 4), "%"), 64)
+		if err != nil {
+			b.Fatalf("cannot parse cold fraction for row %s", row)
+		}
+		return v
+	}
+	b.ReportMetric(coldPct("0"), "cold0-pct")
+	b.ReportMetric(coldPct("32"), "cold32-pct")
+	b.ReportMetric(asMillis(b, headline(b, tables, "0", 3)), "p99-prov0-ms")
+	b.ReportMetric(asMillis(b, headline(b, tables, "32", 3)), "p99-prov32-ms")
+	b.ReportMetric(asDollars(b, headline(b, tables, "auto", 6)), "auto-usd-hr")
+}
+
 // sanity: experiments must be deterministic — identical output across runs
 // with the same seed. Guarded here (not in internal/core) so the bench
 // harness itself verifies reproducibility.
 func TestExperimentsDeterministic(t *testing.T) {
-	for _, id := range []string{"table1", "servingcost", "bandwidth", "regionscale"} {
+	for _, id := range []string{"table1", "servingcost", "bandwidth", "regionscale", "faasscale"} {
 		e, ok := core.ExperimentByID(id)
 		if !ok {
 			t.Fatalf("missing experiment %s", id)

@@ -2,10 +2,11 @@ package faas
 
 import (
 	"encoding/json"
+	"fmt"
+	"time"
 
 	"repro/internal/queue"
 	"repro/internal/sim"
-	"time"
 )
 
 // SQSRecord is one message in an SQS-triggered invocation payload.
@@ -40,37 +41,56 @@ func DecodeSQSEvent(payload []byte) (SQSEvent, error) {
 	return ev, err
 }
 
-// EventSourceMapping is a poller that drains an SQS queue into a function,
-// modeling Lambda's SQS trigger: long-poll the queue, push each batch
-// through the mapping pipeline, invoke synchronously, and delete the batch
-// only on success (failures reappear after the visibility timeout).
+// EventSourceMapping is a poller fleet that drains an SQS queue into a
+// function, modeling Lambda's SQS trigger: each poller long-polls the
+// queue, pushes its batch through the mapping pipeline, invokes
+// synchronously, and deletes the batch only on success (failures reappear
+// after the visibility timeout).
 type EventSourceMapping struct {
 	pf        *Platform
 	q         *queue.Queue
 	fnName    string
 	batchSize int
+	pollers   int
 	stopped   bool
 	idleWait  time.Duration
 }
 
-// MapQueue starts an event-source mapping from q to the named function.
-// batchSize is capped at the queue's 10-message limit.
+// MapQueue starts an event-source mapping from q to the named function with
+// a single poller. batchSize is capped at the queue's 10-message limit.
 func (pf *Platform) MapQueue(q *queue.Queue, fnName string, batchSize int) *EventSourceMapping {
+	return pf.MapQueueN(q, fnName, batchSize, 1)
+}
+
+// MapQueueN starts an event-source mapping with n parallel pollers, the way
+// Lambda's SQS event source runs a poller fleet: each poller carries at
+// most one in-flight invocation, so n bounds the mapping's concurrency the
+// way Lambda's "maximum concurrency" setting does.
+func (pf *Platform) MapQueueN(q *queue.Queue, fnName string, batchSize, n int) *EventSourceMapping {
 	if batchSize <= 0 || batchSize > queue.MaxBatch {
 		batchSize = queue.MaxBatch
+	}
+	if n < 1 {
+		n = 1
 	}
 	esm := &EventSourceMapping{
 		pf:        pf,
 		q:         q,
 		fnName:    fnName,
 		batchSize: batchSize,
+		pollers:   n,
 		idleWait:  time.Second,
 	}
-	pf.net.Kernel().Spawn("esm/"+fnName, esm.run)
+	for i := 0; i < n; i++ {
+		pf.net.Kernel().Spawn(fmt.Sprintf("esm/%s/%d", fnName, i), esm.run)
+	}
 	return esm
 }
 
-// Stop halts the poller after its current cycle.
+// Pollers reports the size of the mapping's poller fleet.
+func (e *EventSourceMapping) Pollers() int { return e.pollers }
+
+// Stop halts every poller after its current cycle.
 func (e *EventSourceMapping) Stop() { e.stopped = true }
 
 func (e *EventSourceMapping) run(p *sim.Proc) {

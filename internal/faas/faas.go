@@ -144,6 +144,9 @@ type container struct {
 	lastUsed sim.Time
 	// provisioned containers never expire from the warm pool.
 	provisioned bool
+	// reapPending is true while the container's single eager-reap timer
+	// is armed (see scheduleReap).
+	reapPending bool
 }
 
 // Platform is the FaaS control plane plus its fleet of hosting VMs.
@@ -156,10 +159,20 @@ type Platform struct {
 
 	ctlNode     *netsim.Node // control plane / event-source pollers
 	functions   map[string]*Function
-	vms         []*hostVM
+	vms         []*hostVM               // VMs hosting at least one container
+	freeVMs     []*hostVM               // emptied VMs whose nodes await reuse
 	idle        map[string][]*container // warm pool per function, LIFO
 	concurrency *sim.Resource
 	nextVM      int
+
+	// Fleet-wide concurrency accounting (see stats.go).
+	inFlight        int
+	peakConcurrency int
+
+	// Provisioned-concurrency billing accrual (see prewarm.go).
+	provisionedGB    float64  // GB currently allocated as provisioned
+	provisionedCount int      // provisioned containers allocated (idle or busy)
+	provisionedSince sim.Time // start of the unaccrued billing span
 }
 
 // New creates a platform.
@@ -213,17 +226,18 @@ func (pf *Platform) Register(fn Function) error {
 // releasing their VM packing slots.
 func (pf *Platform) drainWarmPool(name string) {
 	for _, cont := range pf.idle[name] {
-		pf.removeFromVM(cont)
+		pf.destroyContainer(cont)
 	}
 	delete(pf.idle, name)
 }
 
 // WarmIdle reports how many containers (provisioned or not) are idle-warm
-// for the named function (test/observability hook; expired containers still
-// in the pool are counted until reaped).
+// for the named function. The eager reaper evicts expired containers the
+// moment their TTL passes, so this count never includes dead capacity.
 func (pf *Platform) WarmIdle(name string) int { return len(pf.idle[name]) }
 
-// VMCount reports how many hosting VMs have been allocated.
+// VMCount reports how many hosting VMs are active (hosting at least one
+// container); emptied VMs are reclaimed and their nodes recycled.
 func (pf *Platform) VMCount() int { return len(pf.vms) }
 
 // Report describes one completed invocation.
@@ -253,6 +267,8 @@ func (pf *Platform) Invoke(p *sim.Proc, name string, payload []byte) ([]byte, Re
 	defer fn.releaseReserved()
 	pf.concurrency.Acquire(p)
 	defer pf.concurrency.Release()
+	pf.beginExecution(fn)
+	defer pf.endExecution(fn)
 
 	cont, cold := pf.acquireContainer(p, fn)
 	// Ship the argument to the hosting VM through its shared NIC.
@@ -325,7 +341,7 @@ func (pf *Platform) acquireContainer(p *sim.Proc, fn *Function) (*container, boo
 		cont := pool[len(pool)-1]
 		pool = pool[:len(pool)-1]
 		if !cont.provisioned && p.Now()-cont.lastUsed > pf.cfg.WarmTTL {
-			pf.removeFromVM(cont) // expired; fall through to next candidate
+			pf.destroyContainer(cont) // expired; fall through to next candidate
 			continue
 		}
 		pf.idle[fn.Name] = pool
@@ -340,13 +356,21 @@ func (pf *Platform) acquireContainer(p *sim.Proc, fn *Function) (*container, boo
 	return &container{fn: fn, vm: vm, local: make(map[string]any)}, true
 }
 
-// pickVM returns the first VM with packing room, allocating a new one only
-// when all are full — the packing behaviour behind the bandwidth collapse.
+// pickVM returns the first VM with packing room, reusing a reclaimed VM's
+// node before allocating a fresh one, so all containers packing onto a new
+// VM only happens when the active fleet is full — the packing behaviour
+// behind the bandwidth collapse.
 func (pf *Platform) pickVM() *hostVM {
 	for _, vm := range pf.vms {
 		if vm.containers < pf.cfg.ContainersPerVM {
 			return vm
 		}
+	}
+	if n := len(pf.freeVMs); n > 0 {
+		vm := pf.freeVMs[n-1]
+		pf.freeVMs = pf.freeVMs[:n-1]
+		pf.vms = append(pf.vms, vm)
+		return vm
 	}
 	pf.nextVM++
 	vm := &hostVM{
@@ -365,14 +389,80 @@ func (pf *Platform) releaseContainer(p *sim.Proc, cont *container) {
 	}
 	cont.lastUsed = p.Now()
 	pf.idle[cont.fn.Name] = append(pf.idle[cont.fn.Name], cont)
+	pf.scheduleReap(cont)
+}
+
+// scheduleReap arranges for a pooled container to leave the warm pool the
+// moment its TTL passes, instead of lingering until the next acquire walks
+// over it: WarmIdle stays truthful and the emptied VM is reclaimed promptly.
+// Each container carries at most one armed timer: a timer that fires early
+// (because the container was reused and re-pooled since arming) re-arms for
+// the new expiry, so steady traffic costs O(containers) pending events, not
+// O(release rate x TTL). The extra nanosecond keeps eviction on the same
+// strict "older than TTL" boundary acquireContainer uses, so a container is
+// never reaped at an instant when an arriving invocation would still have
+// reused it.
+func (pf *Platform) scheduleReap(cont *container) {
+	if cont.provisioned || cont.reapPending {
+		return // never expires, or a timer is already armed
+	}
+	cont.reapPending = true
+	pf.armReap(cont)
+}
+
+// armReap arms the container's reap timer for its current expiry.
+func (pf *Platform) armReap(cont *container) {
+	k := pf.net.Kernel()
+	k.At(cont.lastUsed+pf.cfg.WarmTTL+time.Nanosecond, func() {
+		pool := pf.idle[cont.fn.Name]
+		idx := -1
+		for i, cand := range pool {
+			if cand == cont {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			// Checked out or destroyed; a future release re-arms.
+			cont.reapPending = false
+			return
+		}
+		if k.Now() < cont.lastUsed+pf.cfg.WarmTTL+time.Nanosecond {
+			pf.armReap(cont) // reused since arming; follow the new expiry
+			return
+		}
+		cont.reapPending = false
+		pf.idle[cont.fn.Name] = append(pool[:idx], pool[idx+1:]...)
+		pf.destroyContainer(cont)
+	})
 }
 
 func (pf *Platform) destroyContainer(cont *container) {
+	if cont.provisioned {
+		pf.endProvisioned(cont)
+	}
 	pf.removeFromVM(cont)
 }
 
 func (pf *Platform) removeFromVM(cont *container) {
 	cont.vm.containers--
+	if cont.vm.containers == 0 {
+		pf.reclaimVM(cont.vm)
+	}
+}
+
+// reclaimVM removes an emptied VM from the active fleet. Its node (and NIC
+// link) parks on a free list and is handed back by pickVM before any new
+// node is created, so long runs cycle a bounded set of netsim nodes instead
+// of leaking one per cold-start wave.
+func (pf *Platform) reclaimVM(vm *hostVM) {
+	for i, cand := range pf.vms {
+		if cand == vm {
+			pf.vms = append(pf.vms[:i], pf.vms[i+1:]...)
+			pf.freeVMs = append(pf.freeVMs, vm)
+			return
+		}
+	}
 }
 
 // Ctx is the execution context passed to handlers.

@@ -7,7 +7,10 @@ import (
 	"repro/internal/sim"
 )
 
-// run drives the kernel until fn's spawned process completes.
+// run drives the kernel until fn's spawned process completes. The horizon
+// stays below the 10-minute WarmTTL so post-run warm-pool assertions see
+// the pool as the driver left it, not after the eager reaper has correctly
+// expired it.
 func runDriver(t *testing.T, f *fixture, fn func(p *sim.Proc)) {
 	t.Helper()
 	done := false
@@ -15,7 +18,7 @@ func runDriver(t *testing.T, f *fixture, fn func(p *sim.Proc)) {
 		fn(p)
 		done = true
 	})
-	f.k.RunUntil(f.k.Now() + sim.Time(time.Hour))
+	f.k.RunUntil(f.k.Now() + sim.Time(5*time.Minute))
 	if !done {
 		t.Fatal("driver did not finish")
 	}

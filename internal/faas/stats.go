@@ -15,13 +15,22 @@ import (
 
 // FunctionStats are cumulative per-function counters.
 type FunctionStats struct {
-	Invocations int64
-	Errors      int64
-	Timeouts    int64
-	ColdStarts  int64
-	Throttles   int64 // invocations that waited on reserved concurrency
-	TotalTime   time.Duration
-	BilledTime  time.Duration
+	Invocations     int64
+	Errors          int64
+	Timeouts        int64
+	ColdStarts      int64
+	Throttles       int64 // invocations that waited on reserved concurrency
+	PeakConcurrency int   // high-water mark of simultaneous executions
+	TotalTime       time.Duration
+	BilledTime      time.Duration
+
+	// inFlight is the platform-managed count of executions running now;
+	// intervalPeak is its high-water mark since the last
+	// TakePeakConcurrency call (the autoscaler's target-tracking signal);
+	// provisioned counts the function's allocated provisioned containers.
+	inFlight     int
+	intervalPeak int
+	provisioned  int
 }
 
 // ColdStartRate returns the fraction of invocations that cold-started.
@@ -49,6 +58,95 @@ func (pf *Platform) Stats(name string) (FunctionStats, error) {
 		return FunctionStats{}, fmt.Errorf("%w: %q", ErrNoSuchFunction, name)
 	}
 	return *fn.stats, nil
+}
+
+// beginExecution admits one execution into the fleet's and the function's
+// concurrency accounting (called after the account-concurrency slot is
+// held, so the high-water marks measure actual simultaneous executions).
+func (pf *Platform) beginExecution(fn *Function) {
+	pf.inFlight++
+	if pf.inFlight > pf.peakConcurrency {
+		pf.peakConcurrency = pf.inFlight
+	}
+	st := fn.stats
+	st.inFlight++
+	if st.inFlight > st.PeakConcurrency {
+		st.PeakConcurrency = st.inFlight
+	}
+	if st.inFlight > st.intervalPeak {
+		st.intervalPeak = st.inFlight
+	}
+}
+
+func (pf *Platform) endExecution(fn *Function) {
+	pf.inFlight--
+	fn.stats.inFlight--
+}
+
+// TakePeakConcurrency returns the named function's peak simultaneous
+// executions since the previous call (or since startup) and restarts the
+// observation window at the current in-flight level. This is the
+// target-tracking signal the provisioned-concurrency autoscaler consumes.
+func (pf *Platform) TakePeakConcurrency(name string) (int, error) {
+	fn, ok := pf.functions[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoSuchFunction, name)
+	}
+	peak := fn.stats.intervalPeak
+	fn.stats.intervalPeak = fn.stats.inFlight
+	return peak, nil
+}
+
+// FleetStats snapshots the platform-wide serving fleet: how many VMs are
+// active, how tightly containers are packed, how much warm capacity is
+// idle, and the concurrency/cold-start picture across all functions.
+type FleetStats struct {
+	ActiveVMs       int     // VMs hosting at least one container
+	Containers      int     // container slots in use across those VMs
+	VMUtilization   float64 // Containers / (ActiveVMs x ContainersPerVM)
+	WarmIdle        int     // idle warm containers, all functions
+	ProvisionedIdle int     // the provisioned subset of WarmIdle
+	InFlight        int     // executions running now
+	PeakConcurrency int     // fleet-wide high-water mark
+	Invocations     int64   // cumulative, all functions
+	ColdStarts      int64
+}
+
+// ColdStartRate returns the fleet-wide fraction of invocations that
+// cold-started.
+func (s FleetStats) ColdStartRate() float64 {
+	if s.Invocations == 0 {
+		return 0
+	}
+	return float64(s.ColdStarts) / float64(s.Invocations)
+}
+
+// FleetStats returns the current platform-wide snapshot.
+func (pf *Platform) FleetStats() FleetStats {
+	s := FleetStats{
+		ActiveVMs:       len(pf.vms),
+		InFlight:        pf.inFlight,
+		PeakConcurrency: pf.peakConcurrency,
+	}
+	for _, vm := range pf.vms {
+		s.Containers += vm.containers
+	}
+	if s.ActiveVMs > 0 {
+		s.VMUtilization = float64(s.Containers) / float64(s.ActiveVMs*pf.cfg.ContainersPerVM)
+	}
+	for _, pool := range pf.idle {
+		s.WarmIdle += len(pool)
+		for _, cont := range pool {
+			if cont.provisioned {
+				s.ProvisionedIdle++
+			}
+		}
+	}
+	for _, fn := range pf.functions {
+		s.Invocations += fn.stats.Invocations
+		s.ColdStarts += fn.stats.ColdStarts
+	}
+	return s
 }
 
 // SetReservedConcurrency caps the named function's simultaneous executions

@@ -40,29 +40,35 @@ type Uniform struct {
 func (u Uniform) Next(*simrand.RNG) time.Duration { return u.Interval }
 
 // Burst alternates between an On process and silence, modeling diurnal or
-// flash-crowd traffic.
+// flash-crowd traffic. A cycle is OnFor of On-process arrivals followed by
+// OffFor of silence; an arrival whose gap crosses the on-window boundary is
+// deferred into the next on-window, keeping its offset past the boundary.
 type Burst struct {
-	On       Arrivals
-	OnFor    time.Duration
-	OffFor   time.Duration
-	phaseEnd time.Duration
-	inOff    bool
-	elapsed  time.Duration
+	On     Arrivals
+	OnFor  time.Duration
+	OffFor time.Duration
+	// elapsed is the position inside the current on-window, always in
+	// [0, OnFor).
+	elapsed time.Duration
 }
 
-// Next implements Arrivals.
+// Next implements Arrivals. Every arrival time t satisfies
+// t mod (OnFor+OffFor) < OnFor: the off-window is honored exactly once per
+// cycle (once per crossed on-window for gaps spanning several cycles), and
+// the on-window clock keeps the first post-burst gap instead of swallowing
+// it.
 func (b *Burst) Next(rng *simrand.RNG) time.Duration {
+	if b.OnFor <= 0 {
+		panic("loadgen: Burst needs a positive on-window")
+	}
 	gap := b.On.Next(rng)
 	b.elapsed += gap
-	if !b.inOff && b.elapsed >= b.OnFor {
-		b.inOff = true
-		b.elapsed = 0
-		return gap + b.OffFor
+	var off time.Duration
+	for b.elapsed >= b.OnFor {
+		b.elapsed -= b.OnFor
+		off += b.OffFor
 	}
-	if b.inOff && b.elapsed >= 0 {
-		b.inOff = false
-	}
-	return gap
+	return gap + off
 }
 
 // Generator drives an arrival process for a fixed duration, invoking submit
@@ -99,6 +105,10 @@ func (g *Generator) Run(k *sim.Kernel, for_ time.Duration, submit func(p *sim.Pr
 			g.Submitted++
 			p.Spawn("req", func(rp *sim.Proc) { submit(rp, seq) })
 		}
+		// The latch promises the end of the generation window, not the
+		// last arrival: sleep out the remainder so timing measurements
+		// keyed to the latch cover the full window.
+		p.Sleep(end - p.Now())
 		doneGen.Release()
 	})
 	return doneGen

@@ -54,6 +54,48 @@ func TestBurstAlternates(t *testing.T) {
 	}
 }
 
+// TestBurstPhaseTiming: with a fixed seed, every arrival must land inside
+// an on-window — time mod (OnFor+OffFor) < OnFor. The pre-fix state machine
+// restarted the on-window clock at the boundary-crossing arrival (swallowing
+// its overshoot), so arrival phases drifted into the off-window.
+func TestBurstPhaseTiming(t *testing.T) {
+	rng := simrand.New(17)
+	b := &Burst{On: Poisson{Rate: 100},
+		OnFor: 100 * time.Millisecond, OffFor: time.Second}
+	cycle := b.OnFor + b.OffFor
+	var now time.Duration
+	offGaps := 0
+	for i := 0; i < 2000; i++ {
+		gap := b.Next(rng)
+		if gap >= b.OffFor {
+			offGaps++
+		}
+		now += gap
+		if phase := now % cycle; phase >= b.OnFor {
+			t.Fatalf("arrival %d at %v lands %v into its cycle, inside the off-window",
+				i, now, phase)
+		}
+	}
+	// ~10 arrivals per 100ms on-window => ~200 cycle crossings.
+	if offGaps < 150 || offGaps > 250 {
+		t.Errorf("saw %d off-window gaps over 2000 arrivals, want ~200", offGaps)
+	}
+}
+
+// TestBurstOffHonoredEveryCycle: a 20ms gap spans two whole 10ms on-windows,
+// so every arrival must carry exactly two off-windows. The pre-fix logic
+// skipped the off-window on alternate cycles (its in-off flag reset before
+// the elapsed check ran).
+func TestBurstOffHonoredEveryCycle(t *testing.T) {
+	b := &Burst{On: Uniform{Interval: 20 * time.Millisecond},
+		OnFor: 10 * time.Millisecond, OffFor: time.Second}
+	for i := 0; i < 10; i++ {
+		if got := b.Next(nil); got != 20*time.Millisecond+2*time.Second {
+			t.Fatalf("Next #%d = %v, want 2.02s (gap plus two off-windows)", i, got)
+		}
+	}
+}
+
 func TestGeneratorOpenLoop(t *testing.T) {
 	k := sim.NewKernel()
 	defer k.Close()
@@ -73,6 +115,25 @@ func TestGeneratorOpenLoop(t *testing.T) {
 	}
 	if completed != g.Submitted {
 		t.Errorf("completed %d of %d after drain", completed, g.Submitted)
+	}
+}
+
+// TestGeneratorLatchReleasesAtWindowEnd: Run's latch promises the end of
+// the generation window, not the time of the last arrival (at 300ms gaps in
+// a 1s window the last arrival is at 900ms).
+func TestGeneratorLatchReleasesAtWindowEnd(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	g := New(simrand.New(5), Uniform{Interval: 300 * time.Millisecond})
+	done := g.Run(k, time.Second, func(p *sim.Proc, seq int) {})
+	released := sim.Time(-1)
+	k.Spawn("watch", func(p *sim.Proc) {
+		done.Wait(p)
+		released = p.Now()
+	})
+	k.Run()
+	if released != sim.Time(time.Second) {
+		t.Errorf("done latch released at %v, want exactly 1s (end of generation window)", released)
 	}
 }
 

@@ -33,6 +33,12 @@ type Catalog struct {
 	LambdaPerRequest  USD
 	LambdaPerGBSecond USD
 
+	// LambdaProvisionedGBSecond is the keep-warm price for provisioned
+	// concurrency: $0.015 per GB-hour. AWS launched the feature in
+	// December 2019 — after the paper — so, like the Firecracker cold
+	// start, it is a what-if knob; the price is the launch price.
+	LambdaProvisionedGBSecond USD
+
 	// EC2 on-demand hourly prices by instance type.
 	EC2PerHour map[string]USD
 
@@ -60,8 +66,9 @@ type Catalog struct {
 // Fall2018 returns the us-east-1 catalog for the paper's measurement period.
 func Fall2018() *Catalog {
 	return &Catalog{
-		LambdaPerRequest:  0.20 / 1e6,
-		LambdaPerGBSecond: 0.00001667,
+		LambdaPerRequest:          0.20 / 1e6,
+		LambdaPerGBSecond:         0.00001667,
+		LambdaProvisionedGBSecond: 0.015 / 3600,
 		EC2PerHour: map[string]USD{
 			"m4.large": 0.10,
 			"m5.large": 0.096,
@@ -173,10 +180,13 @@ func (m *Meter) line(item string) *Line {
 	return l
 }
 
-// Total returns the sum across all categories.
+// Total returns the sum across all categories. Lines are summed in sorted
+// order: float addition is not associative, so a map-order sum would make
+// the last ULP of the total depend on map iteration order — an observable
+// determinism violation once enough categories charge.
 func (m *Meter) Total() USD {
 	var t USD
-	for _, l := range m.lines {
+	for _, l := range m.Lines() {
 		t += l.Cost
 	}
 	return t

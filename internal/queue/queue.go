@@ -143,15 +143,21 @@ func (q *Queue) Depth() int { return len(q.available) }
 // InFlight reports the number of received-but-undeleted messages.
 func (q *Queue) InFlight() int { return len(q.inflight) }
 
+// billedRequests returns how many requests a payload of the given size
+// bills: one per started 64KB chunk, with empty payloads still billing the
+// one request every API call costs.
+func billedRequests(payload int64) int64 {
+	if payload <= billingChunk {
+		return 1
+	}
+	return (payload + billingChunk - 1) / billingChunk
+}
+
 // request models one API request's round trip and charges for it,
 // including SQS's 64KB-chunk billing for large payloads.
 func (q *Queue) request(p *sim.Proc, caller *netsim.Node, payload int64) {
-	requests := int64(1)
-	if payload > billingChunk {
-		requests = (payload + billingChunk - 1) / billingChunk
-	}
 	fe := q.svc.fe
-	fe.Charge("sqs.request", requests, fe.Catalog().SQSPerRequest)
+	fe.Charge("sqs.request", billedRequests(payload), fe.Catalog().SQSPerRequest)
 	fe.RoundTrip(p, caller, 0)
 }
 
@@ -193,8 +199,17 @@ func (q *Queue) SendBatch(p *sim.Proc, caller *netsim.Node, bodies [][]byte) ([]
 
 func (q *Queue) wakeWaiters(n int) {
 	for n > 0 && len(q.waiters) > 0 {
-		q.waiters[0].Release()
+		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
+		if w.Released() {
+			// The waiter's deadline latch already fired: its receiver
+			// timed out and just hasn't resumed to remove itself yet.
+			// Spending an arrival wake-up on it would leave a live
+			// long-poller asleep until its full deadline, so prune it
+			// without consuming the wake-up.
+			continue
+		}
+		w.Release()
 		n--
 	}
 }
@@ -211,7 +226,6 @@ func (q *Queue) Receive(p *sim.Proc, caller *netsim.Node, max int, wait time.Dur
 		return nil, ErrBatchTooBig
 	}
 	fe := q.svc.fe
-	fe.Charge("sqs.request", 1, fe.Catalog().SQSPerRequest)
 	service := fe.SampleOp()
 	fe.InLeg(p, caller, service/2)
 	deadline := p.Now() + wait
@@ -242,6 +256,13 @@ func (q *Queue) Receive(p *sim.Proc, caller *netsim.Node, max int, wait time.Dur
 			Attempts: m.attempts,
 		})
 	}
+	// The response is billed like a send: one request per started 64KB
+	// chunk of returned payload (an empty poll still bills one request).
+	var payload int64
+	for _, m := range msgs {
+		payload += int64(len(m.Body))
+	}
+	fe.Charge("sqs.request", billedRequests(payload), fe.Catalog().SQSPerRequest)
 	fe.OutLeg(p, caller, service/2)
 	return msgs, nil
 }

@@ -250,6 +250,55 @@ func TestLargePayloadBilledPerChunk(t *testing.T) {
 	}
 }
 
+// TestReceiveBillsResponsePerChunk: the receive response pays the same
+// 64KB-chunk billing as the send side; a flat per-call charge would
+// undercount large-message consumers. Small (~1KB) serving messages stay at
+// one request per receive, which is what keeps the 57x serving-cost ratio
+// in tolerance (asserted by core's servingcost test and golden trace).
+func TestReceiveBillsResponsePerChunk(t *testing.T) {
+	f := newFixture(t, time.Second)
+	f.k.Spawn("c", func(p *sim.Proc) {
+		f.q.Send(p, f.caller, make([]byte, 200*1024)) // 4 x 64KB chunks
+		f.q.Receive(p, f.caller, 1, 0)                // response carries the same 4
+	})
+	f.k.Run()
+	if got := f.meter.Count("sqs.request"); got != 8 {
+		t.Errorf("200KB send+receive billed %d requests, want 8 (4 each way)", got)
+	}
+}
+
+// TestArrivalWakeUpSkipsTimedOutWaiter reproduces the lost-wake-up race
+// with two staggered long-pollers: receiver A's wait deadline fires (its
+// latch releases) in the same instant a message arrives, before A's process
+// has resumed and removed itself from the waiters list. The arrival's
+// wake-up must go to the live receiver B, not be absorbed by A's dead latch
+// — otherwise B sleeps until its full deadline even though work arrived.
+func TestArrivalWakeUpSkipsTimedOutWaiter(t *testing.T) {
+	f := newFixture(t, 30*time.Second)
+	f.k.Spawn("A", func(p *sim.Proc) {
+		f.q.Receive(p, f.caller, 1, time.Second)
+	})
+	f.k.RunUntil(sim.Time(100 * time.Millisecond)) // A is parked
+	f.k.Spawn("B", func(p *sim.Proc) {
+		f.q.Receive(p, f.caller, 1, 20*time.Second)
+	})
+	f.k.RunUntil(sim.Time(500 * time.Millisecond)) // B is parked behind A
+	if len(f.q.waiters) != 2 {
+		t.Fatalf("waiters = %d, want 2 staggered long-pollers", len(f.q.waiters))
+	}
+	deadA, liveB := f.q.waiters[0], f.q.waiters[1]
+	f.k.At(sim.Time(500*time.Millisecond), func() {
+		deadA.Release() // what A's deadline timer does
+		// What a message arrival does, before A has resumed/dropped:
+		f.q.available = append(f.q.available, &stored{id: "m", body: []byte("x")})
+		f.q.wakeWaiters(1)
+		if !liveB.Released() {
+			t.Error("arrival wake-up absorbed by timed-out waiter; live long-poller left sleeping")
+		}
+	})
+	f.k.Run()
+}
+
 func TestCreateQueueIdempotent(t *testing.T) {
 	f := newFixture(t, time.Second)
 	if f.svc.CreateQueue("jobs", time.Minute) != f.q {
