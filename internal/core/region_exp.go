@@ -40,6 +40,19 @@ const (
 	regionValueBytes = 256
 )
 
+// regionKey renders "user/%07d" for v < 10^7 without fmt: the key is built
+// once per request on the load generator's hot path, where Sprintf's
+// formatting machinery dominated the client-side cost.
+func regionKey(v uint64) string {
+	var b [12]byte
+	copy(b[:], "user/")
+	for i := len(b) - 1; i >= 5; i-- {
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[:])
+}
+
 // regionResult is one shard count's measurement.
 type regionResult struct {
 	shards     int
@@ -71,7 +84,7 @@ func runRegionScale(seed uint64, shards int) regionResult {
 	gen.Run(c.K, regionWindow, func(p *sim.Proc, seq int) {
 		// Knuth-hash the sequence number into the key space so the key
 		// choice is deterministic and spread across shards.
-		key := fmt.Sprintf("user/%07d", uint64(seq)*2654435761%regionKeySpace)
+		key := regionKey(uint64(seq) * 2654435761 % regionKeySpace)
 		node := clients[seq%len(clients)]
 		start := p.Now()
 		if seq%2 == 0 {

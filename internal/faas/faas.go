@@ -144,9 +144,10 @@ type container struct {
 	lastUsed sim.Time
 	// provisioned containers never expire from the warm pool.
 	provisioned bool
-	// reapPending is true while the container's single eager-reap timer
-	// is armed (see scheduleReap).
-	reapPending bool
+	// reap is the container's eager-expiry timer, armed while it sits in
+	// the warm pool (see scheduleReap). Allocated once per container and
+	// re-armed on every release.
+	reap *sim.Timer
 }
 
 // Platform is the FaaS control plane plus its fleet of hosting VMs.
@@ -345,6 +346,9 @@ func (pf *Platform) acquireContainer(p *sim.Proc, fn *Function) (*container, boo
 			continue
 		}
 		pf.idle[fn.Name] = pool
+		if cont.reap != nil {
+			cont.reap.Stop() // checked out; release re-arms
+		}
 		p.Sleep(pf.cfg.WarmStart.Sample(pf.rng))
 		return cont, false
 	}
@@ -392,52 +396,43 @@ func (pf *Platform) releaseContainer(p *sim.Proc, cont *container) {
 	pf.scheduleReap(cont)
 }
 
-// scheduleReap arranges for a pooled container to leave the warm pool the
-// moment its TTL passes, instead of lingering until the next acquire walks
-// over it: WarmIdle stays truthful and the emptied VM is reclaimed promptly.
-// Each container carries at most one armed timer: a timer that fires early
-// (because the container was reused and re-pooled since arming) re-arms for
-// the new expiry, so steady traffic costs O(containers) pending events, not
-// O(release rate x TTL). The extra nanosecond keeps eviction on the same
-// strict "older than TTL" boundary acquireContainer uses, so a container is
-// never reaped at an instant when an arriving invocation would still have
-// reused it.
+// scheduleReap arms a pooled container's expiry timer so it leaves the warm
+// pool the moment its TTL passes, instead of lingering until the next
+// acquire walks over it: WarmIdle stays truthful and the emptied VM is
+// reclaimed promptly. The timer is a cancellable handle — acquireContainer
+// and destroyContainer stop it — so a reused container's stale expiry is
+// removed from the kernel queue outright rather than firing as a no-op and
+// re-arming. The extra nanosecond keeps eviction on the same strict "older
+// than TTL" boundary acquireContainer uses, so a container is never reaped
+// at an instant when an arriving invocation would still have reused it.
 func (pf *Platform) scheduleReap(cont *container) {
-	if cont.provisioned || cont.reapPending {
-		return // never expires, or a timer is already armed
+	if cont.provisioned {
+		return // never expires
 	}
-	cont.reapPending = true
-	pf.armReap(cont)
+	if cont.reap == nil {
+		cont.reap = pf.net.Kernel().NewTimer(func() { pf.reap(cont) })
+	}
+	cont.reap.ResetAt(cont.lastUsed + pf.cfg.WarmTTL + time.Nanosecond)
 }
 
-// armReap arms the container's reap timer for its current expiry.
-func (pf *Platform) armReap(cont *container) {
-	k := pf.net.Kernel()
-	k.At(cont.lastUsed+pf.cfg.WarmTTL+time.Nanosecond, func() {
-		pool := pf.idle[cont.fn.Name]
-		idx := -1
-		for i, cand := range pool {
-			if cand == cont {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			// Checked out or destroyed; a future release re-arms.
-			cont.reapPending = false
+// reap evicts an expired container from the warm pool. It only ever fires
+// while the container is pooled: checkout and destruction stop the timer.
+func (pf *Platform) reap(cont *container) {
+	pool := pf.idle[cont.fn.Name]
+	for i, cand := range pool {
+		if cand == cont {
+			pf.idle[cont.fn.Name] = append(pool[:i], pool[i+1:]...)
+			pf.destroyContainer(cont)
 			return
 		}
-		if k.Now() < cont.lastUsed+pf.cfg.WarmTTL+time.Nanosecond {
-			pf.armReap(cont) // reused since arming; follow the new expiry
-			return
-		}
-		cont.reapPending = false
-		pf.idle[cont.fn.Name] = append(pool[:idx], pool[idx+1:]...)
-		pf.destroyContainer(cont)
-	})
+	}
+	panic("faas: reap timer fired for an unpooled container")
 }
 
 func (pf *Platform) destroyContainer(cont *container) {
+	if cont.reap != nil {
+		cont.reap.Stop()
+	}
 	if cont.provisioned {
 		pf.endProvisioned(cont)
 	}

@@ -94,6 +94,17 @@ func New(rng *simrand.RNG, arrivals Arrivals) *Generator {
 func (g *Generator) Run(k *sim.Kernel, for_ time.Duration, submit func(p *sim.Proc, seq int)) *sim.Latch {
 	doneGen := &sim.Latch{}
 	k.Spawn("loadgen", func(p *sim.Proc) {
+		// One shared body serves every request process: processes start
+		// in spawn order (the kernel's start events are FIFO), so the
+		// sequence numbers handed out at start time are exactly the ones
+		// a per-request closure would have captured at spawn time —
+		// without allocating a closure per arrival.
+		next := 0
+		body := func(rp *sim.Proc) {
+			seq := next
+			next++
+			submit(rp, seq)
+		}
 		end := p.Now() + sim.Time(for_)
 		for {
 			gap := g.arrivals.Next(g.rng)
@@ -101,9 +112,8 @@ func (g *Generator) Run(k *sim.Kernel, for_ time.Duration, submit func(p *sim.Pr
 				break
 			}
 			p.Sleep(gap)
-			seq := g.Submitted
 			g.Submitted++
-			p.Spawn("req", func(rp *sim.Proc) { submit(rp, seq) })
+			p.Spawn("req", body)
 		}
 		// The latch promises the end of the generation window, not the
 		// last arrival: sleep out the remainder so timing measurements

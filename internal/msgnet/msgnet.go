@@ -180,8 +180,12 @@ func (e *Endpoint) Call(p *sim.Proc, to string, payload []byte, timeout time.Dur
 		delete(e.pending, reqID)
 		return nil, err
 	}
+	var tm *sim.Timer
 	if timeout > 0 {
-		p.Kernel().After(timeout, func() {
+		// The pending-map guard stays even with a cancellable timer: a
+		// timeout sharing the reply's timestamp is ordered before the
+		// caller resumes, so Stop below can come too late to matter.
+		tm = p.Kernel().AfterTimer(timeout, func() {
 			if w, ok := e.pending[reqID]; ok && w == pr {
 				delete(e.pending, reqID)
 				pr.Resolve(nil)
@@ -189,6 +193,9 @@ func (e *Endpoint) Call(p *sim.Proc, to string, payload []byte, timeout time.Dur
 		})
 	}
 	reply := pr.Get(p)
+	if tm != nil {
+		tm.Stop() // answered (or timed out): drop the deadline event
+	}
 	if reply == nil {
 		return nil, fmt.Errorf("msgnet: call to %q timed out after %v", to, timeout)
 	}

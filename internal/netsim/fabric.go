@@ -73,12 +73,18 @@ type flow struct {
 type Fabric struct {
 	k     *sim.Kernel
 	flows map[*flow]struct{}
-	gen   uint64 // invalidates stale completion events
+	// completion fires at the estimated next flow-completion time. Every
+	// recompute moves the single reusable timer instead of abandoning a
+	// dead event in the kernel queue (the old generation-counter scheme
+	// left one no-op event behind per rate change).
+	completion *sim.Timer
 }
 
 // NewFabric returns an empty fabric bound to kernel k.
 func NewFabric(k *sim.Kernel) *Fabric {
-	return &Fabric{k: k, flows: make(map[*flow]struct{})}
+	f := &Fabric{k: k, flows: make(map[*flow]struct{})}
+	f.completion = k.NewTimer(f.recompute)
+	return f
 }
 
 // NewLink creates a link with the given capacity.
@@ -258,15 +264,9 @@ func (f *Fabric) recompute() {
 		}
 	}
 	if nextDone >= 0 {
-		f.gen++
-		gen := f.gen
-		f.k.At(nextDone, func() {
-			if gen == f.gen {
-				f.recompute()
-			}
-		})
+		f.completion.ResetAt(nextDone)
 	} else {
-		f.gen++ // invalidate any outstanding completion event
+		f.completion.Stop()
 	}
 }
 

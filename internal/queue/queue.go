@@ -131,7 +131,10 @@ type stored struct {
 	id       string
 	body     []byte
 	attempts int
-	gen      int // invalidates stale visibility timers
+	// vis is the armed visibility timer while the message is in flight.
+	// Delete stops it, so acknowledged messages leave the kernel queue
+	// immediately instead of firing a dead reappear event at timeout.
+	vis *sim.Timer
 }
 
 // Name returns the queue name.
@@ -232,8 +235,9 @@ func (q *Queue) Receive(p *sim.Proc, caller *netsim.Node, max int, wait time.Dur
 	for len(q.available) == 0 && p.Now() < deadline {
 		w := &sim.Latch{}
 		q.waiters = append(q.waiters, w)
-		p.Kernel().At(deadline, w.Release)
+		t := p.Kernel().AtTimer(deadline, w.Release)
 		w.Wait(p)
+		t.Stop() // woken by an arrival: drop the deadline event
 		q.dropWaiter(w)
 	}
 	msgs := make([]Message, 0, max)
@@ -246,9 +250,8 @@ func (q *Queue) Receive(p *sim.Proc, caller *netsim.Node, max int, wait time.Dur
 		q.nextRcpt++
 		receipt := fmt.Sprintf("rcpt-%s-%d", q.name, q.nextRcpt)
 		m.attempts++
-		m.gen++
 		q.inflight[receipt] = m
-		q.scheduleReappear(p.Kernel(), receipt, m.gen)
+		q.scheduleReappear(p.Kernel(), receipt, m)
 		msgs = append(msgs, Message{
 			ID:       m.id,
 			Body:     m.body,
@@ -276,23 +279,34 @@ func (q *Queue) dropWaiter(w *sim.Latch) {
 	}
 }
 
-func (q *Queue) scheduleReappear(k *sim.Kernel, receipt string, gen int) {
-	k.After(q.visibility, func() {
-		m, ok := q.inflight[receipt]
-		if !ok || m.gen != gen {
-			return // deleted, or re-received under a newer receipt
-		}
+// scheduleReappear arms the in-flight message's visibility timer: when it
+// fires the undeleted message becomes receivable again (the at-least-once
+// contract). Delete cancels the timer, so a normally acknowledged message
+// costs the kernel no dead event.
+func (q *Queue) scheduleReappear(k *sim.Kernel, receipt string, m *stored) {
+	m.vis = k.AfterTimer(q.visibility, func() {
+		m.vis = nil
 		delete(q.inflight, receipt)
 		q.available = append(q.available, m)
 		q.wakeWaiters(1)
 	})
 }
 
-// Delete acknowledges a delivery by receipt. Unknown receipts (already
-// expired and redelivered) are ignored, matching SQS.
+// ack removes a receipt's message from the in-flight set, cancelling its
+// visibility timer. Unknown receipts (already expired and redelivered) are
+// ignored, matching SQS.
+func (q *Queue) ack(receipt string) {
+	if m, ok := q.inflight[receipt]; ok {
+		m.vis.Stop()
+		m.vis = nil
+		delete(q.inflight, receipt)
+	}
+}
+
+// Delete acknowledges a delivery by receipt.
 func (q *Queue) Delete(p *sim.Proc, caller *netsim.Node, receipt string) {
 	q.request(p, caller, 0)
-	delete(q.inflight, receipt)
+	q.ack(receipt)
 }
 
 // DeleteBatch acknowledges up to MaxBatch deliveries in one request.
@@ -302,7 +316,7 @@ func (q *Queue) DeleteBatch(p *sim.Proc, caller *netsim.Node, receipts []string)
 	}
 	q.request(p, caller, 0)
 	for _, r := range receipts {
-		delete(q.inflight, r)
+		q.ack(r)
 	}
 	return nil
 }

@@ -41,6 +41,87 @@ func BenchmarkProcContextSwitch(b *testing.B) {
 	k.Run()
 }
 
+// BenchmarkKernelSleep measures the full Sleep hot path — heap push, park,
+// dispatch, resume — which must run allocation-free: the CI workflow gates
+// on this benchmark reporting 0 allocs/op.
+func BenchmarkKernelSleep(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	k.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSignalFire measures the Wait/Fire wake-up cycle — the run-queue
+// fast path every sync primitive rides. Gated at 0 allocs/op in CI.
+func BenchmarkSignalFire(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	var sig Signal
+	k.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			sig.Wait(p)
+		}
+	})
+	k.Spawn("firer", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			sig.Fire()
+			p.Yield() // let the waiter re-park before the next fire
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkQueuePingPong measures a blocking request/response exchange
+// between two processes over a pair of bounded queues.
+func BenchmarkQueuePingPong(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	ping := NewQueue[int](1)
+	pong := NewQueue[int](1)
+	k.Spawn("client", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Put(p, i)
+			pong.Get(p)
+		}
+	})
+	k.Spawn("server", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			v, _ := ping.Get(p)
+			pong.Put(p, v)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkTimerReset measures the re-arm path components like the fabric
+// completion estimate and the warm-pool reaper use: one persistent timer
+// rekeyed in place, never abandoning events in the queue.
+func BenchmarkTimerReset(b *testing.B) {
+	k := NewKernel()
+	defer k.Close()
+	tm := k.NewTimer(func() {})
+	// Keep some heap depth so the rekey does real sift work.
+	for i := 0; i < 64; i++ {
+		k.AfterTimer(time.Duration(i+1)*time.Hour, func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(time.Duration(i%16+1) * time.Minute)
+	}
+	b.StopTimer()
+}
+
 // BenchmarkQueueHandoff measures producer/consumer handoffs through a
 // bounded simulation queue.
 func BenchmarkQueueHandoff(b *testing.B) {

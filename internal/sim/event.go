@@ -1,36 +1,169 @@
 package sim
 
-// event is a scheduled callback. Events are ordered by time, with the
+// event is a scheduled wake-up. Events are ordered by time, with the
 // sequence number breaking ties so that events scheduled earlier (in program
 // order) at the same virtual time run first. This total order is what makes
 // the simulation deterministic.
+//
+// The payload is a tagged union: proc != nil means "resume this parked
+// process" (the kernel steps it directly, no closure involved); otherwise fn
+// is an arbitrary callback. Keeping the process wake-up path closure-free is
+// what lets Sleep and the sync primitives run without allocating.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc
+
+	// pos is the event's index in the heap order array while scheduled.
+	// While the slot is free it instead links the arena's free list (the
+	// next free slot, or -1 at the end).
+	pos int32
+	// gen counts how many times this arena slot has been recycled; a Timer
+	// snapshot of (slot, gen) stays valid only while they match, which is
+	// what makes Stop safe after the event has fired.
+	gen uint32
 }
 
-// eventHeap implements container/heap over scheduled events.
-type eventHeap []*event
+// eventHeap is an index-based 4-ary min-heap over event values.
+//
+// Events live in a flat arena and are addressed by slot index; the heap
+// order array holds int32 slot indices, so sift operations move 4-byte
+// integers instead of 40-byte events and never touch the Go heap. Freed
+// slots are threaded onto an embedded free list (linked through event.pos)
+// and recycled, so steady-state scheduling allocates nothing once the arena
+// has grown to the simulation's high-water mark of in-flight events.
+//
+// A 4-ary layout halves the tree depth of the binary heap it replaces;
+// with the run queue absorbing same-time wake-ups, heap events are
+// dominated by pushes and ordered pops where the shallower tree wins.
+type eventHeap struct {
+	arena []event
+	order []int32
+	free  int32 // head of the free-slot list, -1 when empty
+}
 
-func (h eventHeap) Len() int { return len(h) }
+const noSlot = -1
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func newEventHeap() eventHeap { return eventHeap{free: noSlot} }
+
+// len reports the number of scheduled events.
+func (h *eventHeap) len() int { return len(h.order) }
+
+// alloc returns a free arena slot, reusing the free list before growing.
+func (h *eventHeap) alloc() int32 {
+	if h.free != noSlot {
+		s := h.free
+		h.free = h.arena[s].pos
+		return s
 	}
-	return h[i].seq < h[j].seq
+	h.arena = append(h.arena, event{})
+	return int32(len(h.arena) - 1)
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// release returns slot s to the free list, dropping payload references and
+// invalidating any Timer handles pointing at it.
+func (h *eventHeap) release(s int32) {
+	e := &h.arena[s]
+	e.fn = nil
+	e.proc = nil
+	e.gen++
+	e.pos = h.free
+	h.free = s
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+// less orders slots by (at, seq).
+func (h *eventHeap) less(a, b int32) bool {
+	ea, eb := &h.arena[a], &h.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// push schedules an event and returns its arena slot.
+func (h *eventHeap) push(at Time, seq uint64, fn func(), proc *Proc) int32 {
+	s := h.alloc()
+	e := &h.arena[s]
+	e.at, e.seq, e.fn, e.proc = at, seq, fn, proc
+	i := int32(len(h.order))
+	h.order = append(h.order, s)
+	e.pos = i
+	h.siftUp(i)
+	return s
+}
+
+// min returns the slot of the earliest event. The heap must be non-empty.
+func (h *eventHeap) min() int32 { return h.order[0] }
+
+// remove unschedules the event in slot s (which must be scheduled) in
+// O(log n) and recycles the slot.
+func (h *eventHeap) remove(s int32) { h.removeAt(h.arena[s].pos) }
+
+// removeAt unschedules the event at heap position i.
+func (h *eventHeap) removeAt(i int32) {
+	n := int32(len(h.order)) - 1
+	s := h.order[i]
+	last := h.order[n]
+	h.order = h.order[:n]
+	if i < n {
+		h.order[i] = last
+		h.arena[last].pos = i
+		h.siftDown(i)
+		h.siftUp(i)
+	}
+	h.release(s)
+}
+
+// update rekeys the event in slot s to (at, seq) and restores heap order.
+func (h *eventHeap) update(s int32, at Time, seq uint64) {
+	e := &h.arena[s]
+	e.at, e.seq = at, seq
+	h.siftDown(e.pos)
+	h.siftUp(e.pos)
+}
+
+func (h *eventHeap) siftUp(i int32) {
+	s := h.order[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		ps := h.order[parent]
+		if !h.less(s, ps) {
+			break
+		}
+		h.order[i] = ps
+		h.arena[ps].pos = i
+		i = parent
+	}
+	h.order[i] = s
+	h.arena[s].pos = i
+}
+
+func (h *eventHeap) siftDown(i int32) {
+	n := int32(len(h.order))
+	s := h.order[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(h.order[c], h.order[best]) {
+				best = c
+			}
+		}
+		if !h.less(h.order[best], s) {
+			break
+		}
+		h.order[i] = h.order[best]
+		h.arena[h.order[i]].pos = i
+		i = best
+	}
+	h.order[i] = s
+	h.arena[s].pos = i
 }

@@ -10,10 +10,16 @@
 // A 465-minute cloud experiment therefore completes in milliseconds of wall
 // time and produces bit-identical results on every run, which is what makes
 // the reproduction's latency and cost tables trustworthy.
+//
+// Internally the scheduler keeps two structures: a FIFO run queue for
+// events due at exactly the current time (the After(0) wake-up path every
+// synchronization primitive uses) and an index-based 4-ary min-heap of
+// event values for future events. Both recycle their storage, so the
+// steady-state schedule/dispatch cycle performs zero heap allocations; see
+// DESIGN.md "Kernel internals" for the ordering invariants.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -38,23 +44,49 @@ func (p procPanic) String() string {
 	return fmt.Sprintf("sim: process %q panicked: %v", p.proc, p.val)
 }
 
+// rqEntry is a run-queue entry: an event due at the current virtual time.
+// Its timestamp is implicit (always Now); seq alone orders it against heap
+// events that share the timestamp.
+type rqEntry struct {
+	seq  uint64
+	fn   func()
+	proc *Proc
+}
+
 // Kernel is a discrete-event simulation engine. The zero value is not usable;
 // construct one with NewKernel. A Kernel must be used from a single goroutine
 // (its own processes are internally serialized).
 type Kernel struct {
-	now    Time
-	seq    uint64
+	now Time
+	seq uint64
+
+	// events holds future events (at > now at push time) plus all
+	// cancellable timers; rq holds events due at exactly now, in seq
+	// order. Together they form one logical queue totally ordered by
+	// (at, seq) — see nextIsRQ.
 	events eventHeap
+	rq     ring[rqEntry]
 
 	// yield is signaled by a process when it parks or exits, returning
 	// control to the kernel loop.
 	yield chan token
-	// killed is closed by Close to tear down parked process goroutines.
-	killed chan token
-	closed bool
+	// allProcs is every Proc (and goroutine) ever created, so Close can
+	// tear each one down by closing its resume channel; freeProcs is the
+	// subset whose bodies have exited and whose goroutines are parked
+	// awaiting a new assignment from Spawn. Recycling them makes
+	// steady-state Spawn allocation-free: no goroutine, stack, channel,
+	// or Proc per process on per-request workloads.
+	allProcs  []*Proc
+	freeProcs []*Proc
+	closed    bool
 
 	// failure holds a panic captured from a process; Run re-raises it.
 	failure *procPanic
+
+	// until is the active RunUntil bound (negative = unbounded), read by
+	// the park self-handoff fast path so it never advances the clock past
+	// the bound the kernel loop is enforcing.
+	until Time
 
 	liveProcs int
 	spawned   uint64
@@ -63,16 +95,18 @@ type Kernel struct {
 // NewKernel returns a kernel with the clock at zero and no pending events.
 func NewKernel() *Kernel {
 	return &Kernel{
+		events: newEventHeap(),
 		yield:  make(chan token),
-		killed: make(chan token),
+		until:  -1,
 	}
 }
 
 // Now returns the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Pending reports the number of scheduled future events.
-func (k *Kernel) Pending() int { return len(k.events) }
+// Pending reports the number of scheduled events (stopped timers leave the
+// queue immediately and are not counted).
+func (k *Kernel) Pending() int { return k.events.len() + k.rq.len() }
 
 // LiveProcs reports the number of processes that have been spawned and have
 // not yet exited (parked processes count as live).
@@ -80,16 +114,33 @@ func (k *Kernel) LiveProcs() int { return k.liveProcs }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) runs the event at the current time, preserving program order.
+// Scheduling on a closed kernel panics, like Spawn.
 func (k *Kernel) At(t Time, fn func()) {
-	if t < k.now {
-		t = k.now
+	if k.closed {
+		panic("sim: At on closed kernel")
 	}
-	k.seq++
-	heap.Push(&k.events, &event{at: t, seq: k.seq, fn: fn})
+	k.schedule(t, fn, nil)
 }
 
-// After schedules fn to run d after the current virtual time.
-func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+// After schedules fn to run d after the current virtual time. Scheduling on
+// a closed kernel panics, like Spawn.
+func (k *Kernel) After(d Time, fn func()) {
+	if k.closed {
+		panic("sim: After on closed kernel")
+	}
+	k.schedule(k.now+d, fn, nil)
+}
+
+// schedule enqueues a (fn XOR proc) event at time t: due-now events take the
+// O(1) run-queue fast path, future events go to the heap.
+func (k *Kernel) schedule(t Time, fn func(), proc *Proc) {
+	k.seq++
+	if t <= k.now {
+		k.rq.push(rqEntry{seq: k.seq, fn: fn, proc: proc})
+		return
+	}
+	k.events.push(t, k.seq, fn, proc)
+}
 
 // Spawn creates a process running fn and schedules it to start at the
 // current virtual time. It returns immediately; the process body executes
@@ -99,15 +150,26 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 		panic("sim: Spawn on closed kernel")
 	}
 	k.spawned++
-	p := &Proc{
-		k:      k,
-		name:   name,
-		id:     k.spawned,
-		resume: make(chan token),
+	var p *Proc
+	if n := len(k.freeProcs); n > 0 {
+		// Reuse an exited process slot: its goroutine is parked on the
+		// resume channel waiting for the next assignment.
+		p = k.freeProcs[n-1]
+		k.freeProcs = k.freeProcs[:n-1]
+		p.name, p.id, p.body = name, k.spawned, fn
+	} else {
+		p = &Proc{
+			k:      k,
+			name:   name,
+			id:     k.spawned,
+			resume: make(chan token),
+			body:   fn,
+		}
+		k.allProcs = append(k.allProcs, p)
+		go p.loop()
 	}
 	k.liveProcs++
-	go p.run(fn)
-	k.After(0, func() { k.step(p) })
+	k.schedule(k.now, nil, p)
 	return p
 }
 
@@ -125,6 +187,19 @@ func (k *Kernel) Run() Time {
 	return k.RunUntil(-1)
 }
 
+// nextIsRQ reports whether the next event in (at, seq) order is the run
+// queue head rather than the heap minimum. Both queues must be consulted:
+// the heap may hold events at the current time (cancellable timers, or
+// wake-ups scheduled before the clock reached their timestamp) whose seq
+// precedes the run-queue head's.
+func (k *Kernel) nextIsRQ() bool {
+	if k.events.len() == 0 {
+		return true
+	}
+	top := &k.events.arena[k.events.min()]
+	return top.at > k.now || top.seq > k.rq.peek().seq
+}
+
 // RunUntil executes events with timestamps <= until (all events if until is
 // negative) and returns the virtual time reached. If the queue empties first
 // and until is non-negative, the clock still advances to until.
@@ -132,14 +207,34 @@ func (k *Kernel) RunUntil(until Time) Time {
 	if k.closed {
 		panic("sim: Run on closed kernel")
 	}
-	for len(k.events) > 0 {
-		next := k.events[0]
-		if until >= 0 && next.at > until {
+	k.until = until
+	for {
+		var fn func()
+		var proc *Proc
+		if k.rq.len() > 0 && k.nextIsRQ() {
+			// Run-queue entries are due at the current time.
+			if until >= 0 && k.now > until {
+				break
+			}
+			e := k.rq.pop()
+			fn, proc = e.fn, e.proc
+		} else if k.events.len() > 0 {
+			s := k.events.min()
+			e := &k.events.arena[s]
+			if until >= 0 && e.at > until {
+				break
+			}
+			k.now = e.at
+			fn, proc = e.fn, e.proc
+			k.events.removeAt(0)
+		} else {
 			break
 		}
-		heap.Pop(&k.events)
-		k.now = next.at
-		next.fn()
+		if proc != nil {
+			k.step(proc)
+		} else {
+			fn()
+		}
 		if k.failure != nil {
 			f := *k.failure
 			k.failure = nil
@@ -159,5 +254,12 @@ func (k *Kernel) Close() {
 		return
 	}
 	k.closed = true
-	close(k.killed)
+	// Every goroutine — parked mid-body, awaiting its start event, or
+	// idle in the free pool — is blocked on its resume channel; closing
+	// the channel unblocks it for teardown.
+	for _, p := range k.allProcs {
+		close(p.resume)
+	}
+	k.allProcs = nil
+	k.freeProcs = nil
 }

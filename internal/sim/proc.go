@@ -7,11 +7,22 @@ package sim
 //
 // Exactly one process runs at any instant, so process code may freely read
 // and write shared simulation state without locks.
+// A Proc's backing goroutine outlives the process body: when the body
+// returns, the goroutine parks on the proc's resume channel and the Proc
+// joins the kernel's free pool for the next Spawn to reuse (with a fresh
+// name and ID). Spawning therefore allocates no goroutine, stack, or
+// channel in steady state — the dominant cost of per-request process
+// workloads such as open-loop load generators.
 type Proc struct {
-	k      *Kernel
-	name   string
-	id     uint64
+	k    *Kernel
+	name string
+	id   uint64
+	// resume carries the kernel's go-ahead token; the kernel closes it at
+	// shutdown, so a parked process needs a single channel receive (no
+	// select) to distinguish resume from teardown.
 	resume chan token
+	// body is the current assignment, set by Spawn and cleared on exit.
+	body func(*Proc)
 }
 
 // Name returns the name given to Spawn.
@@ -26,19 +37,29 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// run is the goroutine body backing the process.
-func (p *Proc) run(fn func(*Proc)) {
-	// Wait for the start event (or kernel shutdown before start).
-	select {
-	case <-p.resume:
-	case <-p.k.killed:
-		return
+// loop is the goroutine backing the process slot: it runs one assigned
+// body per cycle until the kernel shuts down.
+func (p *Proc) loop() {
+	for p.cycle() {
 	}
+}
+
+// cycle waits for the start event of the current assignment, runs the body,
+// and returns the finished Proc to the free pool. It reports whether the
+// goroutine should wait for another assignment (false once the kernel has
+// shut down).
+func (p *Proc) cycle() (again bool) {
+	// Wait for the start event (or kernel shutdown).
+	if _, ok := <-p.resume; !ok {
+		return false
+	}
+	again = true
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(killedPanic); ok {
 				// Kernel shut down while we were parked; the kernel
 				// loop is not waiting for us, so just vanish.
+				again = false
 				return
 			}
 			// User code panicked. Record it for Run to re-raise on the
@@ -46,18 +67,46 @@ func (p *Proc) run(fn func(*Proc)) {
 			p.k.failure = &procPanic{proc: p.name, val: r}
 		}
 		p.k.liveProcs--
+		p.body = nil
+		p.k.freeProcs = append(p.k.freeProcs, p)
 		p.k.yield <- token{}
 	}()
-	fn(p)
+	p.body(p)
+	return
 }
 
 // park returns control to the kernel loop and blocks until the kernel
 // resumes this process (or shuts down).
+//
+// Fast path: if the next due event in the kernel's (time, seq) order is
+// this process's own wake-up, park consumes it inline and returns without
+// ever switching to the kernel goroutine — dispatching exactly the event
+// the kernel loop would have dispatched next, so the event order (and thus
+// every golden trace) is unchanged while the two context switches and two
+// channel operations disappear. This is the common case for Sleep when no
+// other event lands inside the sleep interval.
 func (p *Proc) park() {
-	p.k.yield <- token{}
-	select {
-	case <-p.resume:
-	case <-p.k.killed:
+	k := p.k
+	if k.rq.len() > 0 {
+		if k.nextIsRQ() {
+			// Run-queue head is due at the current time; no clock
+			// advance and the RunUntil bound already admits now.
+			if e := k.rq.peek(); e.proc == p {
+				k.rq.pop()
+				return
+			}
+		}
+	} else if k.events.len() > 0 {
+		s := k.events.min()
+		e := &k.events.arena[s]
+		if e.proc == p && (k.until < 0 || e.at <= k.until) {
+			k.now = e.at
+			k.events.removeAt(0)
+			return
+		}
+	}
+	k.yield <- token{}
+	if _, ok := <-p.resume; !ok {
 		panic(killedPanic{})
 	}
 }
@@ -68,13 +117,13 @@ func (p *Proc) park() {
 // never synchronously, preserving one-process-at-a-time execution.
 func (p *Proc) wake() {
 	k := p.k
-	k.After(0, func() { k.step(p) })
+	k.seq++
+	k.rq.push(rqEntry{seq: k.seq, proc: p})
 }
 
 // wakeAt schedules this process to resume at absolute time t.
 func (p *Proc) wakeAt(t Time) {
-	k := p.k
-	k.At(t, func() { k.step(p) })
+	p.k.schedule(t, nil, p)
 }
 
 // Sleep suspends the process for d of virtual time. Negative durations sleep

@@ -1,0 +1,66 @@
+package sim
+
+// ring is a growable FIFO over a power-of-two circular buffer. Capacity is
+// retained across drain/fill cycles, so steady-state push/pop allocates
+// nothing — the property the kernel run queue and Queue buffers rely on for
+// the zero-allocation hot path.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// len reports the number of buffered elements.
+func (r *ring[T]) len() int { return r.n }
+
+// push appends v at the tail, growing the buffer if full.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// pop removes and returns the head element. It panics on an empty ring.
+func (r *ring[T]) pop() T {
+	if r.n == 0 {
+		panic("sim: pop from empty ring")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release references held by the slot
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// peek returns a pointer to the head element without removing it.
+func (r *ring[T]) peek() *T {
+	if r.n == 0 {
+		panic("sim: peek on empty ring")
+	}
+	return &r.buf[r.head]
+}
+
+// at returns a pointer to the i-th element from the head (0-based).
+func (r *ring[T]) at(i int) *T {
+	if i < 0 || i >= r.n {
+		panic("sim: ring index out of range")
+	}
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// grow doubles the buffer (minimum 8), compacting elements to the front.
+func (r *ring[T]) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRingFIFOAcrossWrap(t *testing.T) {
+	var r ring[int]
+	next, expect := 0, 0
+	// Push/pop in a skewed pattern so head travels around the buffer.
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			r.push(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := r.pop(); got != expect {
+				t.Fatalf("pop = %d, want %d", got, expect)
+			}
+			expect++
+		}
+	}
+	for r.len() > 0 {
+		if got := r.pop(); got != expect {
+			t.Fatalf("drain pop = %d, want %d", got, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("popped %d values, pushed %d", expect, next)
+	}
+}
+
+func TestRingPeekAndAt(t *testing.T) {
+	var r ring[string]
+	r.push("a")
+	r.push("b")
+	r.push("c")
+	r.pop()
+	r.push("d")
+	if *r.peek() != "b" {
+		t.Errorf("peek = %q, want b", *r.peek())
+	}
+	for i, want := range []string{"b", "c", "d"} {
+		if got := *r.at(i); got != want {
+			t.Errorf("at(%d) = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestRingReusesCapacity(t *testing.T) {
+	var r ring[int]
+	for i := 0; i < 4; i++ {
+		r.push(i)
+	}
+	grown := len(r.buf)
+	// Many full drain/fill cycles at the same depth must not regrow.
+	for cycle := 0; cycle < 1000; cycle++ {
+		for r.len() > 0 {
+			r.pop()
+		}
+		for i := 0; i < 4; i++ {
+			r.push(i)
+		}
+	}
+	if len(r.buf) != grown {
+		t.Errorf("buffer grew from %d to %d despite bounded depth", grown, len(r.buf))
+	}
+}
+
+// The simulation queue must cycle a bounded backing array: the seed's
+// `items = items[1:]` re-slicing leaked capacity and reallocated forever.
+func TestQueueReusesCapacity(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	q := NewQueue[int](4)
+	const total = 50_000
+	k.Spawn("producer", func(p *Proc) {
+		for i := 0; i < total; i++ {
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	sum := 0
+	k.Spawn("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			sum += v
+		}
+	})
+	k.Run()
+	if want := total * (total - 1) / 2; sum != want {
+		t.Fatalf("sum = %d, want %d (FIFO payload lost)", sum, want)
+	}
+	// A capacity-4 queue's ring never needs more than the next power of
+	// two; 50k items through it must not have grown the buffer further.
+	if len(q.items.buf) > 8 {
+		t.Errorf("items buffer = %d slots for a capacity-4 queue", len(q.items.buf))
+	}
+	if len(q.getters.buf) > 8 || len(q.putters.buf) > 8 {
+		t.Errorf("waiter buffers grew unbounded: getters=%d putters=%d",
+			len(q.getters.buf), len(q.putters.buf))
+	}
+}
+
+// An event that enters the run queue (scheduled at the current time) must
+// still order after an already-heaped event at the same timestamp with a
+// smaller sequence number.
+func TestRunQueueRespectsHeapSeqOrder(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	var order []string
+	k.At(time.Second, func() {
+		// Runs first at t=1s; pushes to the run-queue fast path.
+		k.After(0, func() { order = append(order, "rq") })
+	})
+	k.At(time.Second, func() { order = append(order, "heap") })
+	k.Run()
+	if len(order) != 2 || order[0] != "heap" || order[1] != "rq" {
+		t.Errorf("order = %v, want [heap rq]", order)
+	}
+}
+
+// The schedule/dispatch cycle must not allocate once warmed up: events are
+// values in a recycled arena and due-now events ride the run-queue ring.
+func TestSchedulingIsAllocationFree(t *testing.T) {
+	k := NewKernel()
+	defer k.Close()
+	fn := func() {}
+	work := func() {
+		for i := 0; i < 64; i++ {
+			k.After(Time(i)*time.Microsecond, fn)
+			k.After(0, fn)
+		}
+		k.Run()
+	}
+	work() // warm the arena and ring to their high-water mark
+	if allocs := testing.AllocsPerRun(50, work); allocs != 0 {
+		t.Errorf("schedule/dispatch allocated %.1f times per cycle, want 0", allocs)
+	}
+}

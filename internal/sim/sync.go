@@ -3,7 +3,8 @@ package sim
 // This file provides synchronization primitives for simulated processes.
 // All of them deliver wake-ups through the kernel's event queue, never by
 // running a waiter synchronously, which preserves deterministic
-// one-process-at-a-time execution.
+// one-process-at-a-time execution. Waiter lists and buffers recycle their
+// storage so the park/wake cycle stays allocation-free in steady state.
 
 // Signal is a broadcast condition: processes Wait on it and a later Fire
 // wakes all current waiters. Waiters that arrive after a Fire wait for the
@@ -23,7 +24,10 @@ func (s *Signal) Wait(p *Proc) {
 // call from process or event context.
 func (s *Signal) Fire() {
 	waiters := s.waiters
-	s.waiters = nil
+	// Keep the backing array for reuse. Iterating it while truncated is
+	// safe: wake only enqueues events, so no new Wait can append until
+	// this call returns.
+	s.waiters = s.waiters[:0]
 	for _, w := range waiters {
 		w.wake()
 	}
@@ -88,12 +92,14 @@ func (f *Promise[T]) Get(p *Proc) T {
 }
 
 // Queue is a FIFO channel between processes with an optional capacity bound.
-// A capacity of 0 means unbounded.
+// A capacity of 0 means unbounded. Items and waiter lists live in ring
+// buffers, so a long-lived queue cycles a bounded backing array instead of
+// re-slicing (and eventually reallocating) its way through memory.
 type Queue[T any] struct {
 	cap     int
-	items   []T
-	getters []*Proc
-	putters []*Proc
+	items   ring[T]
+	getters ring[*Proc]
+	putters ring[*Proc]
 	closed  bool
 }
 
@@ -103,7 +109,7 @@ func NewQueue[T any](capacity int) *Queue[T] {
 }
 
 // Len reports the number of buffered items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // Closed reports whether Close has been called.
 func (q *Queue[T]) Closed() bool { return q.closed }
@@ -114,14 +120,12 @@ func (q *Queue[T]) TryPut(v T) bool {
 	if q.closed {
 		panic("sim: Put on closed Queue")
 	}
-	if q.cap > 0 && len(q.items) >= q.cap {
+	if q.cap > 0 && q.items.len() >= q.cap {
 		return false
 	}
-	q.items = append(q.items, v)
-	if len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
-		g.wake()
+	q.items.push(v)
+	if q.getters.len() > 0 {
+		q.getters.pop().wake()
 	}
 	return true
 }
@@ -129,7 +133,7 @@ func (q *Queue[T]) TryPut(v T) bool {
 // Put appends an item, blocking the calling process while the queue is full.
 func (q *Queue[T]) Put(p *Proc, v T) {
 	for !q.TryPut(v) {
-		q.putters = append(q.putters, p)
+		q.putters.push(p)
 		p.park()
 		if q.closed {
 			panic("sim: Put on closed Queue")
@@ -139,17 +143,13 @@ func (q *Queue[T]) Put(p *Proc, v T) {
 
 // TryGet removes and returns the head item if one is buffered.
 func (q *Queue[T]) TryGet() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items[0] = zero
-	q.items = q.items[1:]
-	if len(q.putters) > 0 {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
-		w.wake()
+	v := q.items.pop()
+	if q.putters.len() > 0 {
+		q.putters.pop().wake()
 	}
 	return v, true
 }
@@ -166,7 +166,7 @@ func (q *Queue[T]) Get(p *Proc) (T, bool) {
 			var zero T
 			return zero, false
 		}
-		q.getters = append(q.getters, p)
+		q.getters.push(p)
 		p.park()
 	}
 }
@@ -178,14 +178,12 @@ func (q *Queue[T]) Close() {
 		return
 	}
 	q.closed = true
-	for _, g := range q.getters {
-		g.wake()
+	for q.getters.len() > 0 {
+		q.getters.pop().wake()
 	}
-	q.getters = nil
-	for _, w := range q.putters {
-		w.wake()
+	for q.putters.len() > 0 {
+		q.putters.pop().wake()
 	}
-	q.putters = nil
 }
 
 // Resource is a counting semaphore with FIFO admission, used to model
@@ -193,7 +191,7 @@ func (q *Queue[T]) Close() {
 type Resource struct {
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  ring[*Proc]
 }
 
 // NewResource returns a resource with the given number of slots.
@@ -211,7 +209,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // Waiting returns the number of processes queued for a slot.
-func (r *Resource) Waiting() int { return len(r.waiters) }
+func (r *Resource) Waiting() int { return r.waiters.len() }
 
 // TryAcquire claims a slot without blocking, reporting success.
 func (r *Resource) TryAcquire() bool {
@@ -225,11 +223,11 @@ func (r *Resource) TryAcquire() bool {
 // Acquire claims a slot, blocking the calling process until one is free.
 // Admission is strictly FIFO among blocked processes.
 func (r *Resource) Acquire(p *Proc) {
-	if r.inUse < r.capacity && len(r.waiters) == 0 {
+	if r.inUse < r.capacity && r.waiters.len() == 0 {
 		r.inUse++
 		return
 	}
-	r.waiters = append(r.waiters, p)
+	r.waiters.push(p)
 	p.park()
 	// Our releaser granted the slot on our behalf (inUse stays claimed).
 }
@@ -240,10 +238,8 @@ func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: Resource released more than acquired")
 	}
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		w.wake() // slot ownership transfers; inUse unchanged
+	if r.waiters.len() > 0 {
+		r.waiters.pop().wake() // slot ownership transfers; inUse unchanged
 		return
 	}
 	r.inUse--

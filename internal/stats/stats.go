@@ -6,17 +6,33 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 )
 
 // Recorder accumulates duration samples. The zero value is unusable; create
 // one with NewRecorder. Recorders keep every sample (experiments record at
-// most tens of thousands), so percentiles are exact.
+// most tens of thousands), so percentiles are exact. Add maintains running
+// sums, so Mean, Sum, and Stddev are O(1) instead of re-scanning all
+// samples per call.
 type Recorder struct {
 	name    string
 	samples []time.Duration
 	sorted  bool
+	// sum accumulates float64(sample) in Add order. The former per-call
+	// scan summed r.samples in its order at call time, which equals Add
+	// order as long as Mean is first read before any sorting accessor
+	// (Percentile/Median/Min/Max) — the pattern every experiment follows,
+	// and what keeps their printed means bit-identical. A first Mean read
+	// after a sort may differ in the last float bit.
+	sum float64
+	// wmean/m2 are Welford running moments for the O(1) population
+	// variance; the naive E[x²]−mean² form cancels catastrophically for
+	// large-magnitude, low-spread samples (hour-scale durations with
+	// millisecond spread), Welford does not.
+	wmean, m2 float64
+	// sumExact is the overflow-safe integer total backing Sum.
+	sumExact time.Duration
 }
 
 // NewRecorder returns an empty recorder labeled name.
@@ -31,6 +47,12 @@ func (r *Recorder) Name() string { return r.name }
 func (r *Recorder) Add(d time.Duration) {
 	r.samples = append(r.samples, d)
 	r.sorted = false
+	f := float64(d)
+	r.sum += f
+	delta := f - r.wmean
+	r.wmean += delta / float64(len(r.samples))
+	r.m2 += delta * (f - r.wmean)
+	r.sumExact += d
 }
 
 // Count returns the number of samples.
@@ -41,11 +63,7 @@ func (r *Recorder) Mean() time.Duration {
 	if len(r.samples) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, s := range r.samples {
-		sum += float64(s)
-	}
-	return time.Duration(sum / float64(len(r.samples)))
+	return time.Duration(r.sum / float64(len(r.samples)))
 }
 
 // Min returns the smallest sample (0 with no samples).
@@ -99,23 +117,11 @@ func (r *Recorder) Stddev() time.Duration {
 	if n < 2 {
 		return 0
 	}
-	mean := float64(r.Mean())
-	var ss float64
-	for _, s := range r.samples {
-		d := float64(s) - mean
-		ss += d * d
-	}
-	return time.Duration(math.Sqrt(ss / float64(n)))
+	return time.Duration(math.Sqrt(r.m2 / float64(n)))
 }
 
 // Sum returns the total of all samples.
-func (r *Recorder) Sum() time.Duration {
-	var sum time.Duration
-	for _, s := range r.samples {
-		sum += s
-	}
-	return sum
-}
+func (r *Recorder) Sum() time.Duration { return r.sumExact }
 
 // String summarizes the distribution.
 func (r *Recorder) String() string {
@@ -127,6 +133,6 @@ func (r *Recorder) sort() {
 	if r.sorted {
 		return
 	}
-	sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+	slices.Sort(r.samples)
 	r.sorted = true
 }

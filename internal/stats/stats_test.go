@@ -108,3 +108,52 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// BenchmarkRecorderPercentile measures the percentile path on a recorder
+// the size of a large experiment (100k samples), including the re-sort
+// triggered by interleaved Adds.
+func BenchmarkRecorderPercentile(b *testing.B) {
+	r := NewRecorder("bench")
+	for i := 0; i < 100_000; i++ {
+		r.Add(time.Duration((i*2654435761)%1_000_000) * time.Microsecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%16 == 0 {
+			r.Add(time.Duration(i) * time.Microsecond) // force a re-sort
+		}
+		if r.Percentile(99) < 0 {
+			b.Fatal("negative percentile")
+		}
+	}
+}
+
+// BenchmarkRecorderMean measures the running-sum Mean (formerly an O(n)
+// scan per call).
+func BenchmarkRecorderMean(b *testing.B) {
+	r := NewRecorder("bench")
+	for i := 0; i < 100_000; i++ {
+		r.Add(time.Duration(i) * time.Microsecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r.Mean() < 0 {
+			b.Fatal("negative mean")
+		}
+	}
+}
+
+// Large-magnitude, low-spread samples: the one-pass E[x^2]-mean^2 form
+// cancels catastrophically here; Welford must not.
+func TestStddevLargeMagnitudeSmallSpread(t *testing.T) {
+	r := NewRecorder("tight")
+	base := 465 * time.Minute
+	for i := 0; i < 10_000; i++ {
+		r.Add(base + time.Duration(i%3-1)*time.Millisecond) // -1ms, 0, +1ms
+	}
+	got := r.Stddev()
+	// True population stddev of {-1ms, 0, +1ms} uniform-ish is ~0.816ms.
+	if got < 800*time.Microsecond || got > 835*time.Microsecond {
+		t.Errorf("Stddev = %v, want ~816µs (catastrophic cancellation?)", got)
+	}
+}
