@@ -28,7 +28,7 @@ func headline(b *testing.B, tables []*core.Table, rowPrefix string, col int) str
 	return ""
 }
 
-var benchDurRe = regexp.MustCompile(`([0-9.]+)(µs|ms|s|min)`)
+var benchDurRe = regexp.MustCompile(`([0-9.]+)(ns|µs|ms|s|min)`)
 
 func asMillis(b *testing.B, cell string) float64 {
 	b.Helper()
@@ -38,6 +38,8 @@ func asMillis(b *testing.B, cell string) float64 {
 	}
 	v, _ := strconv.ParseFloat(m[1], 64)
 	switch m[2] {
+	case "ns":
+		return v / 1e6
 	case "µs":
 		return v / 1000
 	case "ms":
@@ -252,6 +254,34 @@ func BenchmarkFaaSScale(b *testing.B) {
 	b.ReportMetric(asMillis(b, headline(b, tables, "0", 3)), "p99-prov0-ms")
 	b.ReportMetric(asMillis(b, headline(b, tables, "32", 3)), "p99-prov32-ms")
 	b.ReportMetric(asDollars(b, headline(b, tables, "auto", 6)), "auto-usd-hr")
+}
+
+// BenchmarkStateCacheScale runs the function-colocated state-cache
+// scenario (the paper's §4 fluid-state direction): identical stateful
+// workloads against the DynamoDB-class store and against VM-colocated CRDT
+// replicas with gossip anti-entropy, sweeping replica count and gossip
+// interval. Reported: read tails on both sides, the measured staleness
+// window, and the cached/uncached p99 ratio.
+func BenchmarkStateCacheScale(b *testing.B) {
+	var tables []*core.Table
+	for i := 0; i < b.N; i++ {
+		tables = core.RunStateCache(1)
+	}
+	uncachedP99 := asMillis(b, headline(b, tables, "uncached", 5))
+	cachedRow := func(col int) string {
+		for _, row := range tables[0].Rows {
+			if row[0] == "cached" && row[1] == "4" && row[2] == "200.0ms" {
+				return row[col]
+			}
+		}
+		b.Fatal("no cached 4-replica/200ms row")
+		return ""
+	}
+	cachedP99 := asMillis(b, cachedRow(5))
+	b.ReportMetric(uncachedP99, "uncached-p99-ms")
+	b.ReportMetric(cachedP99*1e6, "cached-p99-ns")
+	b.ReportMetric(uncachedP99/cachedP99, "p99-ratio-x")
+	b.ReportMetric(asMillis(b, cachedRow(6)), "stale-p99-ms")
 }
 
 // sanity: experiments must be deterministic — identical output across runs

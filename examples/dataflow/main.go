@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -17,8 +18,11 @@ import (
 	"repro/internal/sim"
 )
 
+var seed = flag.Uint64("seed", 77, "simulation seed")
+
 func main() {
-	cloud := core.NewCloud(77)
+	flag.Parse()
+	cloud := core.NewCloud(*seed)
 	defer cloud.Close()
 	pf := future.New(cloud.Net, cloud.Mesh, cloud.RNG.Fork(),
 		future.DefaultConfig(), cloud.Catalog, cloud.Meter)

@@ -11,6 +11,7 @@ package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"strconv"
 	"time"
@@ -27,7 +28,10 @@ const (
 	events  = 20 // per worker
 )
 
+var seed = flag.Uint64("seed", 41, "simulation seed (the naive run; the CRDT run uses seed+1)")
+
 func main() {
+	flag.Parse()
 	fmt.Printf("%d functions each record %d events via eventually consistent storage\n\n",
 		workers, events)
 	naive := runNaive()
@@ -40,7 +44,7 @@ func main() {
 // runNaive: read an integer (eventually consistent), add one, write it
 // back unconditionally — the pattern sequential programmers reach for.
 func runNaive() int64 {
-	cloud, table := setup(41)
+	cloud, table := setup(*seed)
 	defer cloud.Close()
 	var wg sim.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -67,7 +71,7 @@ func runNaive() int64 {
 // runCRDT: the same traffic, but the shared state is a G-Counter and
 // writes go through compare-and-swap with merge-on-retry.
 func runCRDT() int64 {
-	cloud, table := setup(42)
+	cloud, table := setup(*seed + 1)
 	defer cloud.Close()
 	var wg sim.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -18,7 +19,10 @@ import (
 
 const members = 5
 
+var seed = flag.Uint64("seed", 21, "simulation seed (direct-messaging run uses seed+1)")
+
 func main() {
+	flag.Parse()
 	fmt.Println("bully leader election, 5 nodes, leader killed after things settle")
 	bbRound, bbCost := onBlackboard()
 	directRound := onDirect()
@@ -58,7 +62,7 @@ func waitFor(k *sim.Kernel, horizon sim.Time, cond func() bool) {
 }
 
 func onBlackboard() (time.Duration, string) {
-	cloud := core.NewCloud(21)
+	cloud := core.NewCloud(*seed)
 	defer cloud.Close()
 	bb := election.NewBlackboard(cloud.DDB, election.PaperParams())
 	var nodes []*election.Node
@@ -86,7 +90,7 @@ func onBlackboard() (time.Duration, string) {
 }
 
 func onDirect() time.Duration {
-	cloud := core.NewCloud(22)
+	cloud := core.NewCloud(*seed + 1)
 	defer cloud.Close()
 	ids := make([]int, members)
 	for i := range ids {

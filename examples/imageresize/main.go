@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -17,8 +18,11 @@ import (
 	"repro/internal/stats"
 )
 
+var seed = flag.Uint64("seed", 7, "simulation seed")
+
 func main() {
-	cloud := core.NewCloud(7)
+	flag.Parse()
+	cloud := core.NewCloud(*seed)
 	defer cloud.Close()
 
 	// Stage 100 "images" (sized objects) in the object store.

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -13,9 +14,12 @@ import (
 	"repro/internal/sim"
 )
 
+var seed = flag.Uint64("seed", 42, "simulation seed")
+
 func main() {
+	flag.Parse()
 	// A deterministic cloud: same seed, same results, every run.
-	cloud := core.NewCloud(42)
+	cloud := core.NewCloud(*seed)
 	defer cloud.Close()
 
 	// Register a function that shouts its payload back.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -23,7 +24,10 @@ import (
 
 const batches = 50
 
+var seed = flag.Uint64("seed", 31, "simulation seed (the three variants use seed, seed+1, seed+2)")
+
 func main() {
+	flag.Parse()
 	fmt.Printf("classifying %d batches of 10 documents each way:\n\n", batches)
 	l := lambdaWay()
 	s := sqsWay()
@@ -43,7 +47,7 @@ func docs(b int) [][]byte {
 }
 
 func lambdaWay() time.Duration {
-	cloud := core.NewCloud(31)
+	cloud := core.NewCloud(*seed)
 	defer cloud.Close()
 	in := cloud.SQS.CreateQueue("in", 2*time.Minute)
 	out := cloud.SQS.CreateQueue("out", 2*time.Minute)
@@ -103,7 +107,7 @@ func lambdaWay() time.Duration {
 }
 
 func sqsWay() time.Duration {
-	cloud := core.NewCloud(32)
+	cloud := core.NewCloud(*seed + 1)
 	defer cloud.Close()
 	in := cloud.SQS.CreateQueue("in", 2*time.Minute)
 	out := cloud.SQS.CreateQueue("out", 2*time.Minute)
@@ -162,7 +166,7 @@ func sqsWay() time.Duration {
 }
 
 func zmqWay() time.Duration {
-	cloud := core.NewCloud(33)
+	cloud := core.NewCloud(*seed + 2)
 	defer cloud.Close()
 	model := wordfilter.DefaultModel()
 	rec := stats.NewRecorder("ec2+zmq")

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"strings"
 	"time"
@@ -36,8 +37,11 @@ func steps() []workflow.Step {
 	return out
 }
 
+var seed = flag.Uint64("seed", 55, "simulation seed")
+
 func main() {
-	cloud := core.NewCloud(55)
+	flag.Parse()
+	cloud := core.NewCloud(*seed)
 	defer cloud.Close()
 
 	pl := workflow.New("signup", cloud.Lambda, cloud.SQS, cloud.S3, steps())

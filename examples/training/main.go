@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -24,7 +25,10 @@ const (
 	vocab       = 128 // scaled-down feature width for the real model
 )
 
+var seed = flag.Uint64("seed", 3, "simulation seed (the EC2 run uses seed+1)")
+
 func main() {
+	flag.Parse()
 	batches := int(corpusBytes / batchBytes)
 	fmt.Printf("one epoch over %d batches of 100MB, real %d-feature MLP in the loop\n\n", batches, vocab)
 	lambdaTime, l0, l1 := onLambda(batches)
@@ -67,7 +71,7 @@ func (tr *trainer) step() {
 func (tr *trainer) holdout() float64 { return tr.net.Loss(tr.hX, tr.hY) }
 
 func onLambda(batches int) (time.Duration, float64, float64) {
-	cloud := core.NewCloud(3)
+	cloud := core.NewCloud(*seed)
 	defer cloud.Close()
 	tr := newTrainer()
 	before := tr.holdout()
@@ -108,7 +112,7 @@ func onLambda(batches int) (time.Duration, float64, float64) {
 }
 
 func onEC2(batches int) (time.Duration, float64, float64) {
-	cloud := core.NewCloud(4)
+	cloud := core.NewCloud(*seed + 1)
 	defer cloud.Close()
 	tr := newTrainer()
 	before := tr.holdout()

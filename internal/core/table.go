@@ -77,8 +77,10 @@ func FmtDur(d time.Duration) string {
 		return fmt.Sprintf("%.2fs", d.Seconds())
 	case d >= time.Millisecond:
 		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
-	default:
+	case d >= time.Microsecond:
 		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%.0fns", float64(d))
 	}
 }
 
@@ -121,6 +123,7 @@ func Experiments() []Experiment {
 		{ID: "autoscale", Title: "§1.2: autoscaling under open-loop load (the step forward)", Run: RunAutoscale},
 		{ID: "regionscale", Title: "Region scale: sharded KV table under open-loop load", Run: RunRegionScale},
 		{ID: "faasscale", Title: "FaaS at region scale: flash-crowd serving vs provisioned concurrency", Run: RunFaaSScale},
+		{ID: "statecache", Title: "§4 fluid state: function-colocated CRDT cache with gossip anti-entropy", Run: RunStateCache},
 	}
 }
 

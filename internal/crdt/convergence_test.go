@@ -1,0 +1,135 @@
+package crdt
+
+// Randomized merge-order convergence: N replicas of each lattice apply a
+// random op stream, deliveries are restricted to partition-mates for the
+// first phase and then run in arbitrary healed order, and every replica
+// must end at the same state — the counters at the exact arithmetic
+// reference. This is the property the statecache gossip leans on: no
+// matter how staleness, retries and reordering scramble delivery, joins
+// commute.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestRandomizedMergeOrderConvergence(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			testMergeOrderConvergence(t, seed)
+		})
+	}
+}
+
+func testMergeOrderConvergence(t *testing.T, seed int64) {
+	const (
+		replicas = 6
+		ops      = 300
+	)
+	rng := rand.New(rand.NewSource(seed))
+
+	gs := make([]*GCounter, replicas)
+	pns := make([]*PNCounter, replicas)
+	regs := make([]*LWWRegister, replicas)
+	sets := make([]*ORSet, replicas)
+	for i := range gs {
+		gs[i] = NewGCounter()
+		pns[i] = NewPNCounter()
+		regs[i] = &LWWRegister{}
+		sets[i] = NewORSet()
+	}
+	var gRef, pnRef int64
+	regRef := &LWWRegister{}
+	added := map[string]bool{}
+	removed := map[string]bool{}
+
+	id := func(i int) string { return fmt.Sprintf("r%d", i) }
+
+	// Phase 1: random ops with deliveries (pairwise merges) only inside
+	// each partition half.
+	for op := 0; op < ops; op++ {
+		i := rng.Intn(replicas)
+		switch rng.Intn(5) {
+		case 0:
+			n := int64(rng.Intn(9))
+			gs[i].Inc(id(i), n)
+			gRef += n
+		case 1:
+			d := int64(rng.Intn(17) - 8)
+			pns[i].Add(id(i), d)
+			pnRef += d
+		case 2:
+			val := fmt.Sprintf("v%d", op)
+			stamp := int64(op / 3) // deliberate stamp collisions
+			regs[i].Set(id(i), stamp, val)
+			regRef.Set(id(i), stamp, val)
+		case 3:
+			elem := fmt.Sprintf("e%d", rng.Intn(10))
+			if rng.Float64() < 0.7 {
+				sets[i].Add(id(i), elem)
+				added[elem] = true
+			} else {
+				sets[i].Remove(elem)
+				if sets[i].Contains(elem) {
+					// Remove only tombstones observed tags; if unseen adds
+					// survive elsewhere this element may stay, so only
+					// locally-observed removes go into the reference.
+					t.Fatalf("remove left locally observed element %q", elem)
+				}
+				removed[elem] = true
+			}
+		default:
+			// A delivery: j learns from k, same partition half only.
+			j, k := rng.Intn(replicas), rng.Intn(replicas)
+			if (j < replicas/2) == (k < replicas/2) {
+				gs[j].Merge(gs[k])
+				pns[j].Merge(pns[k])
+				regs[j].Merge(regs[k])
+				sets[j].Merge(sets[k])
+			}
+		}
+	}
+
+	// Phase 2: heal — deliver every replica's state to every other in a
+	// shuffled order, twice (merges are idempotent; a second pass makes
+	// the mesh transitive regardless of the shuffle).
+	for pass := 0; pass < 2; pass++ {
+		order := rng.Perm(replicas * replicas)
+		for _, x := range order {
+			j, k := x/replicas, x%replicas
+			gs[j].Merge(gs[k])
+			pns[j].Merge(pns[k])
+			regs[j].Merge(regs[k])
+			sets[j].Merge(sets[k])
+		}
+	}
+
+	for i := 0; i < replicas; i++ {
+		if got := gs[i].Value(); got != gRef {
+			t.Errorf("replica %d G-counter = %d, want %d", i, got, gRef)
+		}
+		if got := pns[i].Value(); got != pnRef {
+			t.Errorf("replica %d PN-counter = %d, want %d", i, got, pnRef)
+		}
+		if regRef.Stamp != 0 || regRef.Val != "" {
+			if regs[i].Get() != regRef.Get() {
+				t.Errorf("replica %d register = %q, want %q", i, regs[i].Get(), regRef.Get())
+			}
+		}
+		if !reflect.DeepEqual(sets[i].Elements(), sets[0].Elements()) {
+			t.Errorf("replica %d set diverged: %v != %v", i, sets[i].Elements(), sets[0].Elements())
+		}
+	}
+	for _, e := range sets[0].Elements() {
+		if !added[e] {
+			t.Errorf("set invented element %q", e)
+		}
+	}
+	for e := range added {
+		if !removed[e] && !sets[0].Contains(e) {
+			t.Errorf("set lost element %q (added, never removed)", e)
+		}
+	}
+}

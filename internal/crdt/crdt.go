@@ -18,6 +18,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // GCounter is a grow-only counter: one monotone slot per replica.
@@ -243,4 +245,58 @@ func UnmarshalPNCounter(data []byte) (*PNCounter, error) {
 		c.N = NewGCounter()
 	}
 	return c, nil
+}
+
+// UnmarshalLWWRegister decodes a stored LWW register.
+func UnmarshalLWWRegister(data []byte) (*LWWRegister, error) {
+	r := &LWWRegister{}
+	if err := json.Unmarshal(data, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// UnmarshalORSet decodes a stored OR-Set. The tag sequence counter is not
+// part of the wire form, so it is rebuilt as the maximum sequence number
+// appearing in any stored tag: a decoded set that keeps being mutated on
+// behalf of the same replica must not mint tags that collide with (possibly
+// tombstoned) ones it already issued, or add-wins breaks.
+func UnmarshalORSet(data []byte) (*ORSet, error) {
+	s := NewORSet()
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, err
+	}
+	if s.Adds == nil {
+		s.Adds = make(map[string]map[string]bool)
+	}
+	if s.Dels == nil {
+		s.Dels = make(map[string]map[string]bool)
+	}
+	// Scan tombstones too: a (corrupt or partial) state can carry removed
+	// tags with no surviving add, and a re-minted colliding tag would be
+	// born dead.
+	for _, byElem := range []map[string]map[string]bool{s.Adds, s.Dels} {
+		for _, tags := range byElem {
+			for tag := range tags {
+				if n := tagSeq(tag); n > s.seq {
+					s.seq = n
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// tagSeq extracts the sequence number from an ORSet tag ("replica#N"),
+// returning 0 for tags in any other shape.
+func tagSeq(tag string) int64 {
+	i := strings.LastIndexByte(tag, '#')
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.ParseInt(tag[i+1:], 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
 }

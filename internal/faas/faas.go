@@ -24,6 +24,7 @@ import (
 	"repro/internal/pricing"
 	"repro/internal/sim"
 	"repro/internal/simrand"
+	"repro/internal/statecache"
 )
 
 // Errors returned by the platform.
@@ -134,6 +135,10 @@ func DefaultConfig() Config {
 type hostVM struct {
 	node       *netsim.Node
 	containers int
+	// cache is the VM-colocated state-cache replica, present while the
+	// platform has an attached cluster. Handlers reach it via Ctx.Cache;
+	// reclaimVM detaches (and thereby drains) it before recycling the node.
+	cache *statecache.Cache
 }
 
 // container is one function sandbox.
@@ -174,6 +179,10 @@ type Platform struct {
 	provisionedGB    float64  // GB currently allocated as provisioned
 	provisionedCount int      // provisioned containers allocated (idle or busy)
 	provisionedSince sim.Time // start of the unaccrued billing span
+
+	// cache, when attached, colocates a state-cache replica with every
+	// hosting VM (the paper's §4 fluid-state platform).
+	cache *statecache.Cluster
 }
 
 // New creates a platform.
@@ -374,6 +383,7 @@ func (pf *Platform) pickVM() *hostVM {
 		vm := pf.freeVMs[n-1]
 		pf.freeVMs = pf.freeVMs[:n-1]
 		pf.vms = append(pf.vms, vm)
+		pf.attachCache(vm)
 		return vm
 	}
 	pf.nextVM++
@@ -381,7 +391,34 @@ func (pf *Platform) pickVM() *hostVM {
 		node: pf.net.NewNode(fmt.Sprintf("lambda-vm-%d", pf.nextVM), pf.cfg.Rack, pf.cfg.VMNICBps),
 	}
 	pf.vms = append(pf.vms, vm)
+	pf.attachCache(vm)
 	return vm
+}
+
+// AttachStateCache colocates one replica of the given cluster with every
+// hosting VM, present and future: handlers reach the VM's replica through
+// Ctx.Cache, and reclaiming an emptied VM drains the replica's unflushed
+// deltas into the cluster's backing store before the node is recycled.
+//
+// Attaching a different cluster re-binds the fleet: each active VM's old
+// replica is detached — draining its deltas into the *old* cluster's
+// store — before the VM joins the new cluster.
+func (pf *Platform) AttachStateCache(cl *statecache.Cluster) {
+	pf.cache = cl
+	for _, vm := range pf.vms {
+		if vm.cache != nil && vm.cache.Cluster() != cl {
+			vm.cache.Detach()
+			vm.cache = nil
+		}
+		pf.attachCache(vm)
+	}
+}
+
+// attachCache binds a state-cache replica to an activating VM.
+func (pf *Platform) attachCache(vm *hostVM) {
+	if pf.cache != nil && vm.cache == nil {
+		vm.cache = pf.cache.Attach(vm.node)
+	}
 }
 
 func (pf *Platform) releaseContainer(p *sim.Proc, cont *container) {
@@ -450,7 +487,19 @@ func (pf *Platform) removeFromVM(cont *container) {
 // link) parks on a free list and is handed back by pickVM before any new
 // node is created, so long runs cycle a bounded set of netsim nodes instead
 // of leaking one per cold-start wave.
+//
+// A VM-colocated cache replica is detached first: Detach drains any deltas
+// the replica absorbed but has not yet write-behind-flushed, so recycling
+// the node (which hands a fresh, empty replica to the VM's next tenant)
+// never silently drops state.
 func (pf *Platform) reclaimVM(vm *hostVM) {
+	if vm.cache != nil {
+		// Detach through the replica itself: after a cluster re-bind,
+		// pf.cache can differ from the cluster this VM's replica lives
+		// in, and detaching the wrong cluster would skip the drain.
+		vm.cache.Detach()
+		vm.cache = nil
+	}
 	for i, cand := range pf.vms {
 		if cand == vm {
 			pf.vms = append(pf.vms[:i], pf.vms[i+1:]...)
@@ -496,6 +545,11 @@ func (c *Ctx) Remaining() time.Duration {
 // invocations of the same container — and only those; the platform gives no
 // way to ensure reuse, exactly the limitation the paper highlights.
 func (c *Ctx) Local() map[string]any { return c.cont.local }
+
+// Cache returns the state-cache replica colocated with the hosting VM (the
+// §4 fluid-state surface: local-memory reads, CRDT writes, gossip
+// convergence), or nil when the platform has no attached cluster.
+func (c *Ctx) Cache() *statecache.Cache { return c.cont.vm.cache }
 
 // ComputeShare returns the fraction of a core this function receives
 // (memory-proportional, capped at one core for single-threaded handlers).

@@ -1,0 +1,145 @@
+package pricing
+
+// Direct table-driven coverage for Meter: until now its category
+// accumulation was only exercised through whole experiments, so a
+// regression in, say, ChargeCost's count semantics would surface as an
+// inscrutable golden-trace diff instead of a unit failure.
+
+import (
+	"math"
+	"testing"
+)
+
+type meterOp struct {
+	item     string
+	count    int64 // Charge when unitCost set; ignored for lump
+	unitCost USD
+	lump     USD // ChargeCost when nonzero
+}
+
+func TestMeterCategoryAccumulation(t *testing.T) {
+	cases := []struct {
+		name      string
+		ops       []meterOp
+		wantCount map[string]int64
+		wantCost  map[string]USD
+		wantTotal USD
+		wantLines []string // sorted category order
+	}{
+		{
+			name:      "zero value meter is empty",
+			wantCount: map[string]int64{"anything": 0},
+			wantTotal: 0,
+		},
+		{
+			name: "single category accumulates count and cost",
+			ops: []meterOp{
+				{item: "ddb.read", count: 4, unitCost: 0.25},
+				{item: "ddb.read", count: 6, unitCost: 0.25},
+			},
+			wantCount: map[string]int64{"ddb.read": 10},
+			wantCost:  map[string]USD{"ddb.read": 2.5},
+			wantTotal: 2.5,
+			wantLines: []string{"ddb.read"},
+		},
+		{
+			name: "categories stay separate",
+			ops: []meterOp{
+				{item: "sqs.request", count: 3, unitCost: 0.4},
+				{item: "lambda.request", count: 2, unitCost: 0.2},
+				{item: "sqs.request", count: 1, unitCost: 0.4},
+			},
+			wantCount: map[string]int64{"sqs.request": 4, "lambda.request": 2, "absent": 0},
+			wantCost:  map[string]USD{"sqs.request": 1.6, "lambda.request": 0.4},
+			wantTotal: 2.0,
+			wantLines: []string{"lambda.request", "sqs.request"},
+		},
+		{
+			name: "lump-sum charges count one event each",
+			ops: []meterOp{
+				{item: "lambda.gbsec", lump: 0.125},
+				{item: "lambda.gbsec", lump: 0.375},
+			},
+			wantCount: map[string]int64{"lambda.gbsec": 2},
+			wantCost:  map[string]USD{"lambda.gbsec": 0.5},
+			wantTotal: 0.5,
+			wantLines: []string{"lambda.gbsec"},
+		},
+		{
+			name: "mixed charge kinds share a category",
+			ops: []meterOp{
+				{item: "cache.gbsec", count: 5, unitCost: 0.01},
+				{item: "cache.gbsec", lump: 0.45},
+			},
+			wantCount: map[string]int64{"cache.gbsec": 6},
+			wantCost:  map[string]USD{"cache.gbsec": 0.5},
+			wantTotal: 0.5,
+			wantLines: []string{"cache.gbsec"},
+		},
+		{
+			name: "zero-count charge still creates the line",
+			ops: []meterOp{
+				{item: "s3.put", count: 0, unitCost: 0.005},
+			},
+			wantCount: map[string]int64{"s3.put": 0},
+			wantCost:  map[string]USD{"s3.put": 0},
+			wantTotal: 0,
+			wantLines: []string{"s3.put"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var m Meter
+			for _, op := range tc.ops {
+				if op.lump != 0 {
+					m.ChargeCost(op.item, op.lump)
+				} else {
+					m.Charge(op.item, op.count, op.unitCost)
+				}
+			}
+			for item, want := range tc.wantCount {
+				if got := m.Count(item); got != want {
+					t.Errorf("Count(%q) = %d, want %d", item, got, want)
+				}
+			}
+			for item, want := range tc.wantCost {
+				if got := m.Cost(item); math.Abs(float64(got-want)) > 1e-12 {
+					t.Errorf("Cost(%q) = %v, want %v", item, got, want)
+				}
+			}
+			if got := m.Total(); math.Abs(float64(got-tc.wantTotal)) > 1e-12 {
+				t.Errorf("Total = %v, want %v", got, tc.wantTotal)
+			}
+			lines := m.Lines()
+			if len(lines) != len(tc.wantLines) {
+				t.Fatalf("Lines = %d categories, want %d", len(lines), len(tc.wantLines))
+			}
+			for i, want := range tc.wantLines {
+				if lines[i].Item != want {
+					t.Errorf("Lines[%d] = %q, want %q (sorted order)", i, lines[i].Item, want)
+				}
+			}
+			m.Reset()
+			if m.Total() != 0 || len(m.Lines()) != 0 {
+				t.Error("Reset left accumulated charges behind")
+			}
+		})
+	}
+}
+
+// TestMeterTotalIsOrderIndependent pins the sorted-sum determinism fix:
+// two meters charged the same categories in different orders must agree to
+// the last bit, because the golden traces print totals to the cent.
+func TestMeterTotalIsOrderIndependent(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd", "e5", "f6", "g7"}
+	var fwd, rev Meter
+	for i, it := range items {
+		fwd.ChargeCost(it, USD(0.1)/USD(3*(i+1)))
+	}
+	for i := len(items) - 1; i >= 0; i-- {
+		rev.ChargeCost(items[i], USD(0.1)/USD(3*(i+1)))
+	}
+	if fwd.Total() != rev.Total() {
+		t.Errorf("Total depends on charge order: %v != %v", fwd.Total(), rev.Total())
+	}
+}

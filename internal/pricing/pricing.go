@@ -61,6 +61,13 @@ type Catalog struct {
 
 	// SQS: $0.40 per million requests (standard queues).
 	SQSPerRequest USD
+
+	// CacheGBSecond prices function-colocated cache memory per GB-second.
+	// Derived from ElastiCache r4-class memory (Fall 2018: cache.r4.large,
+	// $0.228/hr for 12.3 GiB ≈ $0.0185/GB-hour), rounded to $0.02/GB-hour:
+	// the keep-state price the paper's §4 "fluid" platform would pay for
+	// holding lattice state next to functions instead of in DynamoDB.
+	CacheGBSecond USD
 }
 
 // Fall2018 returns the us-east-1 catalog for the paper's measurement period.
@@ -80,6 +87,7 @@ func Fall2018() *Catalog {
 		DynamoRCUHour:      0.00013,
 		DynamoWCUHour:      0.00065,
 		SQSPerRequest:      0.40 / 1e6,
+		CacheGBSecond:      0.02 / 3600,
 	}
 }
 

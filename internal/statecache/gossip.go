@@ -1,0 +1,287 @@
+package statecache
+
+// Gossip anti-entropy. Every replica runs one round per GossipInterval
+// against one uniformly random peer: first a digest exchange (per-key
+// state hashes — the constant-size-per-key summary that keeps steady-state
+// gossip bandwidth proportional to the key count, after Eppstein &
+// Goodrich's set-reconciliation digests), then full lattice state for only
+// the keys whose hashes differ, merged in both directions so the pair is
+// identical when the round ends. The three messages (digest, pull
+// response, push) travel the netsim fabric through both VMs' NICs, so
+// gossip bandwidth contends with the functions' own storage traffic.
+//
+// Determinism: peers are picked from the attach-ordered replica slice with
+// the replica's own forked RNG; every key iteration is over sorted keys.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/crdt"
+	"repro/internal/sim"
+)
+
+// entry is one cached lattice plus its gossip/flush bookkeeping.
+type entry struct {
+	kind Kind
+	g    *crdt.GCounter
+	pn   *crdt.PNCounter
+	reg  *crdt.LWWRegister
+	set  *crdt.ORSet
+
+	bytes     int64    // serialized footprint at last refresh
+	hash      uint64   // FNV-1a of the serialized state (digest line)
+	lastWrite sim.Time // latest originating local write merged in
+
+	// Local writes run at memory speed, so they must not pay a JSON
+	// marshal per op: wrote() only flags the entry stale and the
+	// footprint/hash are recomputed at the first consumer — a gossip
+	// diff, a flush, a billing settlement (Cache.fresh). staleSince
+	// remembers when the deferred growth appeared so the settlement can
+	// bill it from then, not from when it was noticed.
+	stale      bool
+	staleSince sim.Time
+}
+
+func newEntry(kind Kind) *entry {
+	e := &entry{kind: kind}
+	switch kind {
+	case KindGCounter:
+		e.g = crdt.NewGCounter()
+	case KindPNCounter:
+		e.pn = crdt.NewPNCounter()
+	case KindRegister:
+		e.reg = &crdt.LWWRegister{}
+	case KindSet:
+		e.set = crdt.NewORSet()
+	default:
+		panic(fmt.Sprintf("statecache: unknown kind %d", kind))
+	}
+	return e
+}
+
+// envelope is the wire/storage form of an entry: the lattice kind, its
+// JSON state, and the originating-write stamp staleness tracking rides on.
+type envelope struct {
+	Kind      Kind            `json:"kind"`
+	State     json.RawMessage `json:"state"`
+	LastWrite int64           `json:"lastWrite"`
+}
+
+// encodeState serializes just the lattice. json.Marshal sorts map keys, so
+// replicas holding equal lattice state produce identical bytes — which is
+// what makes a byte hash a sound convergence digest.
+func (e *entry) encodeState() []byte {
+	switch e.kind {
+	case KindGCounter:
+		return crdt.Marshal(e.g)
+	case KindPNCounter:
+		return crdt.Marshal(e.pn)
+	case KindRegister:
+		return crdt.Marshal(e.reg)
+	default:
+		return crdt.Marshal(e.set)
+	}
+}
+
+// encode serializes the entry for storage and gossip transfer.
+func (e *entry) encode() []byte {
+	return crdt.Marshal(envelope{Kind: e.kind, State: e.encodeState(), LastWrite: int64(e.lastWrite)})
+}
+
+// envelopeOverheadBytes approximates the envelope framing around the state
+// payload when sizing an entry's storage/transfer footprint.
+const envelopeOverheadBytes = 48
+
+// decodeEntry parses a stored envelope back into an entry.
+func decodeEntry(data []byte) (*entry, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	e := &entry{kind: env.Kind, lastWrite: sim.Time(env.LastWrite)}
+	var err error
+	switch env.Kind {
+	case KindGCounter:
+		e.g, err = crdt.UnmarshalGCounter(env.State)
+	case KindPNCounter:
+		e.pn, err = crdt.UnmarshalPNCounter(env.State)
+	case KindRegister:
+		e.reg, err = crdt.UnmarshalLWWRegister(env.State)
+	case KindSet:
+		e.set, err = crdt.UnmarshalORSet(env.State)
+	default:
+		err = fmt.Errorf("statecache: unknown kind %d", env.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	e.refresh()
+	return e, nil
+}
+
+// refresh recomputes the serialized footprint and digest hash after a
+// mutation or merge, returning the change in footprint bytes. The hash
+// covers only kind+state, not lastWrite: replicas holding identical
+// lattices may carry different write stamps (each merge keeps the max it
+// has seen) and must still digest as equal.
+func (e *entry) refresh() int64 {
+	state := e.encodeState()
+	h := fnv.New64a()
+	h.Write([]byte{byte(e.kind)})
+	h.Write(state)
+	old := e.bytes
+	e.bytes = int64(len(state)) + envelopeOverheadBytes
+	e.hash = h.Sum64()
+	e.stale = false
+	return e.bytes - old
+}
+
+// merge joins other into e, returning the footprint change. Kinds must
+// match (the caller's key addressed a different lattice otherwise).
+func (e *entry) merge(other *entry) int64 {
+	if other.kind != e.kind {
+		panic(fmt.Sprintf("statecache: merging %v into %v", other.kind, e.kind))
+	}
+	switch e.kind {
+	case KindGCounter:
+		e.g.Merge(other.g)
+	case KindPNCounter:
+		e.pn.Merge(other.pn)
+	case KindRegister:
+		e.reg.Merge(other.reg)
+	case KindSet:
+		e.set.Merge(other.set)
+	}
+	if other.lastWrite > e.lastWrite {
+		e.lastWrite = other.lastWrite
+	}
+	return e.refresh()
+}
+
+// gossipOnce runs one anti-entropy round from c against one random peer.
+func (c *Cache) gossipOnce(p *sim.Proc) {
+	peer := c.pickPeer()
+	if peer == nil {
+		return
+	}
+	cl := c.cl
+	cl.gossipRounds++
+
+	// 1. Digest: c ships one fixed-size line per cached key.
+	digest := int64(cl.cfg.MessageOverheadBytes)
+	for _, k := range c.sortedKeys() {
+		digest += int64(len(k) + cl.cfg.DigestBytesPerKey)
+	}
+	cl.net.Send(p, c.node, peer.node, digest)
+	if peer.detached {
+		return // reclaimed while the digest was in flight
+	}
+
+	// 2. The peer answers the digest with its state for every key that is
+	// missing from it or hashes differently (it learns c's missing keys
+	// from the digest; its own extra keys ride along unprompted).
+	diff := diffKeys(c, peer)
+	if len(diff) == 0 {
+		return
+	}
+	resp := int64(cl.cfg.MessageOverheadBytes)
+	for _, k := range diff {
+		if e := peer.entries[k]; e != nil {
+			resp += e.bytes
+		}
+	}
+	cl.net.Send(p, peer.node, c.node, resp)
+	if c.detached {
+		return
+	}
+	c.mergeFrom(p.Now(), peer, diff)
+
+	// 3. Push: c returns its (now joined) state for the same keys, making
+	// the pair identical at round end.
+	push := int64(cl.cfg.MessageOverheadBytes)
+	for _, k := range diff {
+		if e := c.entries[k]; e != nil {
+			push += e.bytes
+		}
+	}
+	cl.net.Send(p, c.node, peer.node, push)
+	if peer.detached {
+		return
+	}
+	peer.mergeFrom(p.Now(), c, diff)
+}
+
+// pickPeer selects one uniformly random gossip partner, honoring the
+// cluster's partition hook. It returns nil when no peer is reachable.
+func (c *Cache) pickPeer() *Cache {
+	cl := c.cl
+	candidates := make([]*Cache, 0, len(cl.replicas))
+	for _, cand := range cl.replicas {
+		if cand == c {
+			continue
+		}
+		if cl.partition != nil && cl.partition(c.node, cand.node) {
+			continue
+		}
+		candidates = append(candidates, cand)
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	return candidates[c.rng.Intn(len(candidates))]
+}
+
+// diffKeys returns, sorted, every key the two replicas disagree on: held
+// by only one side, or hashing differently. Both sides' entries are
+// freshened on the way, so the hashes compared (and the entry bytes the
+// caller sizes transfers with) reflect every local write so far.
+func diffKeys(a, b *Cache) []string {
+	var out []string
+	for k, ae := range a.entries {
+		a.fresh(ae)
+		be, ok := b.entries[k]
+		if ok {
+			b.fresh(be)
+		}
+		if !ok || be.hash != ae.hash {
+			out = append(out, k)
+		}
+	}
+	for k, be := range b.entries {
+		if _, ok := a.entries[k]; !ok {
+			b.fresh(be)
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mergeFrom joins src's entries for the given keys into c, sampling the
+// staleness window for every merge that actually changed local state.
+func (c *Cache) mergeFrom(now sim.Time, src *Cache, keys []string) {
+	for _, k := range keys {
+		se := src.entries[k]
+		if se == nil {
+			continue
+		}
+		src.fresh(se)
+		e, ok := c.entries[k]
+		if !ok {
+			e = newEntry(se.kind)
+			c.entries[k] = e
+		}
+		// Settle any deferred local growth first, so the merge delta and
+		// the changed-state check are against a current footprint/hash.
+		c.fresh(e)
+		before := e.hash
+		c.reweigh(e.merge(se))
+		if e.hash != before {
+			c.cl.staleness.Add(time.Duration(now - se.lastWrite))
+		}
+	}
+}

@@ -1,0 +1,642 @@
+// Package statecache implements the paper's §4 fix for its "two steps
+// back" data-shipping critique: fluid, function-colocated state. Every
+// stateful FaaS pattern in §3 round-trips through slow shared storage
+// (Table 1: 11 ms to DynamoDB vs sub-microsecond local memory); §4 argues
+// the platform should instead keep state next to the functions with
+// lattice semantics so that replication never needs coordination.
+//
+// A Cluster manages one cache replica per hosting VM. Reads and writes hit
+// the local replica at memory latency; writes mutate CRDT lattices (the
+// internal/crdt G/PN-Counter, LWW-Register and OR-Set) and are marked
+// dirty. Replicas converge through periodic gossip anti-entropy — a digest
+// exchange first, so steady-state bandwidth is proportional to the key
+// count rather than the state size (the invertible-Bloom-filter
+// reconciliation idea from Eppstein & Goodrich, simplified to per-key
+// hashes), then a delta merge for only the keys that differ — and a
+// write-behind flush persists dirty entries into the sharded kvstore as
+// read-merge-write upserts. All gossip and flush traffic is metered on the
+// netsim fabric through the replicas' VM NICs, and resident cache memory
+// bills per GB-second (pricing.Catalog.CacheGBSecond).
+package statecache
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+	"repro/internal/stats"
+)
+
+// Config holds cache parameters.
+type Config struct {
+	// OpLatency is the local read/write service time: a hash-map access
+	// plus lattice bookkeeping in the function's own address space.
+	OpLatency simrand.Dist
+
+	// GossipInterval is how often each replica runs one anti-entropy
+	// round with one random peer.
+	GossipInterval time.Duration
+
+	// FlushInterval is how often each replica write-behind-flushes its
+	// dirty entries to the backing kvstore.
+	FlushInterval time.Duration
+
+	// DigestBytesPerKey sizes the per-entry digest record (key hash,
+	// state hash, write stamp) exchanged before any state moves.
+	DigestBytesPerKey int
+
+	// MessageOverheadBytes is the fixed framing cost per gossip message.
+	MessageOverheadBytes int
+
+	// FlushRetries bounds the read-merge-write loop a flush runs when
+	// ConditionalPut keeps losing to concurrent flushers.
+	FlushRetries int
+}
+
+// DefaultConfig returns the calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		OpLatency:            simrand.Uniform{Lo: 300 * time.Nanosecond, Hi: 500 * time.Nanosecond},
+		GossipInterval:       200 * time.Millisecond,
+		FlushInterval:        time.Second,
+		DigestBytesPerKey:    24,
+		MessageOverheadBytes: 64,
+		FlushRetries:         4,
+	}
+}
+
+// Kind identifies which lattice an entry holds.
+type Kind uint8
+
+// The four lattice kinds a cache entry can hold.
+const (
+	KindGCounter Kind = iota + 1
+	KindPNCounter
+	KindRegister
+	KindSet
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGCounter:
+		return "g-counter"
+	case KindPNCounter:
+		return "pn-counter"
+	case KindRegister:
+		return "lww-register"
+	case KindSet:
+		return "or-set"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Cluster owns the cache replicas colocated with a fleet of VMs, the
+// gossip schedule that converges them, and the write-behind path into the
+// backing store.
+type Cluster struct {
+	name    string
+	net     *netsim.Network
+	store   *kvstore.Store
+	rng     *simrand.RNG
+	cfg     Config
+	catalog *pricing.Catalog
+	meter   *pricing.Meter
+
+	replicas []*Cache                // attach order; peer picks index this slice
+	byNode   map[*netsim.Node]*Cache // at most one replica per VM node
+	// partition, when set, blocks gossip between node pairs it reports
+	// true for (chaos/test hook; delivery stays blocked both ways only if
+	// the hook says so for both orders).
+	partition func(from, to *netsim.Node) bool
+
+	staleness *stats.Recorder
+
+	// GB-second billing accrual, mirroring faas provisioned concurrency:
+	// bytes is the resident lattice state across replicas, accrued into
+	// the meter on every allocation change and on Accrue.
+	bytes int64
+	since sim.Time
+
+	nextID       int
+	gossipRounds int64
+	flushWrites  int64
+}
+
+// New creates a cluster backed by the given store. The cluster is inert
+// until replicas are attached; creating one schedules nothing.
+func New(name string, net *netsim.Network, store *kvstore.Store, rng *simrand.RNG,
+	cfg Config, catalog *pricing.Catalog, meter *pricing.Meter) *Cluster {
+	if cfg.GossipInterval <= 0 {
+		cfg.GossipInterval = DefaultConfig().GossipInterval
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = DefaultConfig().FlushInterval
+	}
+	if cfg.FlushRetries <= 0 {
+		cfg.FlushRetries = DefaultConfig().FlushRetries
+	}
+	if cfg.OpLatency == nil {
+		cfg.OpLatency = DefaultConfig().OpLatency
+	}
+	return &Cluster{
+		name:      name,
+		net:       net,
+		store:     store,
+		rng:       rng,
+		cfg:       cfg,
+		catalog:   catalog,
+		meter:     meter,
+		byNode:    make(map[*netsim.Node]*Cache),
+		staleness: stats.NewRecorder(name + "/staleness"),
+	}
+}
+
+// Attach creates a cache replica colocated with the given VM node and
+// starts its gossip and flush processes. Attaching a node that already has
+// a replica returns the existing one.
+func (cl *Cluster) Attach(node *netsim.Node) *Cache {
+	if c := cl.byNode[node]; c != nil {
+		return c
+	}
+	cl.nextID++
+	c := &Cache{
+		cl:      cl,
+		node:    node,
+		replica: fmt.Sprintf("%s#%d", node.ID(), cl.nextID),
+		rng:     cl.rng.Fork(),
+		entries: make(map[string]*entry),
+		dirty:   make(map[string]bool),
+	}
+	cl.replicas = append(cl.replicas, c)
+	cl.byNode[node] = c
+	k := cl.net.Kernel()
+	// Stagger the first tick per replica so a fleet attached in one
+	// instant does not gossip in lockstep forever.
+	k.Spawn("statecache-gossip/"+c.replica, func(p *sim.Proc) {
+		p.Sleep(time.Duration(c.rng.Float64() * float64(cl.cfg.GossipInterval)))
+		for !c.detached {
+			p.Sleep(cl.cfg.GossipInterval)
+			if c.detached {
+				return
+			}
+			c.gossipOnce(p)
+		}
+	})
+	k.Spawn("statecache-flush/"+c.replica, func(p *sim.Proc) {
+		p.Sleep(time.Duration(c.rng.Float64() * float64(cl.cfg.FlushInterval)))
+		for !c.detached {
+			p.Sleep(cl.cfg.FlushInterval)
+			if c.detached {
+				return
+			}
+			c.flushDirty(p)
+		}
+	})
+	return c
+}
+
+// Detach removes the node's replica from the gossip ring, stops billing its
+// memory, and — if it holds unflushed deltas — spawns a drain process that
+// write-behind-flushes every dirty entry before the state is dropped. The
+// FaaS platform calls this when it reclaims an emptied VM, so container
+// churn never silently loses absorbed writes.
+func (cl *Cluster) Detach(node *netsim.Node) {
+	c := cl.byNode[node]
+	if c == nil {
+		return
+	}
+	// Settle deferred refreshes while the replica is still billed, so the
+	// bytes subtracted below are the bytes that were being charged.
+	for _, k := range c.sortedKeys() {
+		c.fresh(c.entries[k])
+	}
+	c.detached = true
+	delete(cl.byNode, node)
+	for i, cand := range cl.replicas {
+		if cand == c {
+			cl.replicas = append(cl.replicas[:i], cl.replicas[i+1:]...)
+			break
+		}
+	}
+	cl.addBytes(-c.bytes)
+	if len(c.dirty) > 0 {
+		cl.net.Kernel().Spawn("statecache-drain/"+c.replica, func(p *sim.Proc) {
+			c.flushDirty(p)
+		})
+	}
+}
+
+// Replica returns the cache attached to node, or nil.
+func (cl *Cluster) Replica(node *netsim.Node) *Cache { return cl.byNode[node] }
+
+// Replicas reports how many replicas are attached.
+func (cl *Cluster) Replicas() int { return len(cl.replicas) }
+
+// Partition installs a chaos hook: gossip rounds skip peers for which
+// fn(from, to) reports true. Passing nil heals the network.
+func (cl *Cluster) Partition(fn func(from, to *netsim.Node) bool) { cl.partition = fn }
+
+// Staleness returns the recorder of anti-entropy propagation delays: one
+// sample per gossip merge that changed a replica's state, measuring the
+// time from the originating write to its visibility on the merging
+// replica. Its percentiles are the cache's staleness window.
+func (cl *Cluster) Staleness() *stats.Recorder { return cl.staleness }
+
+// CachedBytes reports the resident lattice state across all replicas.
+func (cl *Cluster) CachedBytes() int64 { return cl.bytes }
+
+// GossipRounds reports how many anti-entropy rounds have run.
+func (cl *Cluster) GossipRounds() int64 { return cl.gossipRounds }
+
+// FlushWrites reports how many kvstore writes the write-behind path made.
+func (cl *Cluster) FlushWrites() int64 { return cl.flushWrites }
+
+// Accrue settles cache-memory charges up to now: every replica's deferred
+// footprint refreshes are settled (with their catch-up charges), then the
+// resident total is accrued. Experiments call it once before reading the
+// meter so charges cover the full run.
+func (cl *Cluster) Accrue(now sim.Time) {
+	for _, c := range cl.replicas {
+		for _, k := range c.sortedKeys() {
+			c.fresh(c.entries[k])
+		}
+	}
+	cl.accrue(now)
+}
+
+// accrue charges the currently recorded resident bytes over the span since
+// the last settlement (allocation changes call it before moving bytes).
+func (cl *Cluster) accrue(now sim.Time) {
+	if cl.bytes > 0 && now > cl.since {
+		gb := float64(cl.bytes) / 1e9
+		secs := time.Duration(now - cl.since).Seconds()
+		cl.meter.ChargeCost("statecache.gbsec", pricing.USD(gb*secs)*cl.catalog.CacheGBSecond)
+	}
+	cl.since = now
+}
+
+func (cl *Cluster) addBytes(delta int64) {
+	if delta == 0 {
+		return
+	}
+	cl.accrue(cl.net.Kernel().Now())
+	cl.bytes += delta
+}
+
+// Cache is one replica, colocated with (and doing all of its network I/O
+// through) a single hosting VM's node.
+type Cache struct {
+	cl       *Cluster
+	node     *netsim.Node
+	replica  string
+	rng      *simrand.RNG
+	entries  map[string]*entry
+	dirty    map[string]bool
+	bytes    int64 // this replica's resident state
+	ops      int64
+	detached bool
+}
+
+// Node returns the VM node the replica is colocated with.
+func (c *Cache) Node() *netsim.Node { return c.node }
+
+// Cluster returns the cluster the replica belongs to.
+func (c *Cache) Cluster() *Cluster { return c.cl }
+
+// Detach removes this replica from its own cluster (see Cluster.Detach).
+// Holders of a replica handle must detach through it, not through
+// whichever cluster they currently know about: the two can differ after a
+// re-attach, and a Detach on the wrong cluster is a silent no-op.
+func (c *Cache) Detach() { c.cl.Detach(c.node) }
+
+// ReplicaID returns the replica's unique CRDT actor id.
+func (c *Cache) ReplicaID() string { return c.replica }
+
+// Ops reports how many local cache operations this replica served.
+func (c *Cache) Ops() int64 { return c.ops }
+
+// Len reports the number of cached entries (no simulated latency).
+func (c *Cache) Len() int { return len(c.entries) }
+
+// touch charges one local-memory operation.
+func (c *Cache) touch(p *sim.Proc) {
+	if c.detached {
+		panic("statecache: operation on a detached replica")
+	}
+	c.ops++
+	p.Sleep(c.cl.cfg.OpLatency.Sample(c.rng))
+}
+
+// at returns the entry for key, creating it with the given kind when
+// create is set. A kind mismatch against an existing entry panics: one key
+// is one lattice, and mixing them cannot merge.
+func (c *Cache) at(key string, kind Kind, create bool) *entry {
+	e, ok := c.entries[key]
+	if ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("statecache: key %q holds a %v, not a %v", key, e.kind, kind))
+		}
+		return e
+	}
+	if !create {
+		return nil
+	}
+	e = newEntry(kind)
+	c.entries[key] = e
+	return e
+}
+
+// wrote records a local mutation: the entry is marked dirty for the
+// write-behind flush and stale for the deferred footprint/hash refresh
+// (see entry.stale — no marshal on the memory-speed op path).
+func (c *Cache) wrote(p *sim.Proc, key string, e *entry) {
+	e.lastWrite = p.Now()
+	if !e.stale {
+		e.stale = true
+		e.staleSince = p.Now()
+	}
+	c.dirty[key] = true
+}
+
+// fresh settles an entry's deferred refresh. Footprint growth is billed
+// from staleSince — when it actually appeared — via a catch-up charge, so
+// lazy refreshing changes when the meter is touched but not (beyond the
+// sub-cent approximation of netting a window's mutations to its start)
+// what an interval of resident memory costs. Shrinkage is applied forward
+// only; no retroactive refunds.
+func (c *Cache) fresh(e *entry) {
+	if !e.stale {
+		return
+	}
+	delta := e.refresh()
+	c.reweigh(delta)
+	if c.detached || delta <= 0 {
+		return
+	}
+	cl := c.cl
+	if span := cl.net.Kernel().Now() - e.staleSince; span > 0 {
+		gb := float64(delta) / 1e9
+		cl.meter.ChargeCost("statecache.gbsec",
+			pricing.USD(gb*span.Seconds())*cl.catalog.CacheGBSecond)
+	}
+}
+
+func (c *Cache) reweigh(delta int64) {
+	if delta == 0 {
+		return
+	}
+	c.bytes += delta
+	if !c.detached {
+		c.cl.addBytes(delta)
+	}
+}
+
+// IncGCounter adds n (n >= 0) to the named grow-only counter.
+func (c *Cache) IncGCounter(p *sim.Proc, key string, n int64) {
+	c.touch(p)
+	e := c.at(key, KindGCounter, true)
+	e.g.Inc(c.replica, n)
+	c.wrote(p, key, e)
+}
+
+// GCounterValue reads the named grow-only counter.
+func (c *Cache) GCounterValue(p *sim.Proc, key string) int64 {
+	c.touch(p)
+	if e := c.at(key, KindGCounter, false); e != nil {
+		return e.g.Value()
+	}
+	return 0
+}
+
+// AddCounter applies a signed delta to the named PN-counter.
+func (c *Cache) AddCounter(p *sim.Proc, key string, delta int64) {
+	c.touch(p)
+	e := c.at(key, KindPNCounter, true)
+	e.pn.Add(c.replica, delta)
+	c.wrote(p, key, e)
+}
+
+// Counter reads the named PN-counter.
+func (c *Cache) Counter(p *sim.Proc, key string) int64 {
+	c.touch(p)
+	if e := c.at(key, KindPNCounter, false); e != nil {
+		return e.pn.Value()
+	}
+	return 0
+}
+
+// SetRegister writes the named LWW register, stamped with the current
+// virtual time (replica id breaks ties deterministically).
+func (c *Cache) SetRegister(p *sim.Proc, key, val string) {
+	c.touch(p)
+	e := c.at(key, KindRegister, true)
+	e.reg.Set(c.replica, int64(p.Now()), val)
+	c.wrote(p, key, e)
+}
+
+// Register reads the named LWW register ("" when absent).
+func (c *Cache) Register(p *sim.Proc, key string) string {
+	c.touch(p)
+	if e := c.at(key, KindRegister, false); e != nil {
+		return e.reg.Get()
+	}
+	return ""
+}
+
+// AddSet inserts elem into the named OR-set.
+func (c *Cache) AddSet(p *sim.Proc, key, elem string) {
+	c.touch(p)
+	e := c.at(key, KindSet, true)
+	e.set.Add(c.replica, elem)
+	c.wrote(p, key, e)
+}
+
+// RemoveSet removes elem from the named OR-set (observed-remove:
+// concurrent unseen adds survive).
+func (c *Cache) RemoveSet(p *sim.Proc, key, elem string) {
+	c.touch(p)
+	e := c.at(key, KindSet, true)
+	e.set.Remove(elem)
+	c.wrote(p, key, e)
+}
+
+// SetContains reports membership in the named OR-set.
+func (c *Cache) SetContains(p *sim.Proc, key, elem string) bool {
+	c.touch(p)
+	if e := c.at(key, KindSet, false); e != nil {
+		return e.set.Contains(elem)
+	}
+	return false
+}
+
+// SetElements returns the named OR-set's live membership, sorted.
+func (c *Cache) SetElements(p *sim.Proc, key string) []string {
+	c.touch(p)
+	if e := c.at(key, KindSet, false); e != nil {
+		return e.set.Elements()
+	}
+	return nil
+}
+
+// PeekCounter reads the named PN-counter without simulated latency
+// (test/observability hook, like kvstore.Len).
+func (c *Cache) PeekCounter(key string) int64 {
+	if e := c.entries[key]; e != nil && e.kind == KindPNCounter {
+		return e.pn.Value()
+	}
+	return 0
+}
+
+// PeekGCounter reads the named G-counter without simulated latency.
+func (c *Cache) PeekGCounter(key string) int64 {
+	if e := c.entries[key]; e != nil && e.kind == KindGCounter {
+		return e.g.Value()
+	}
+	return 0
+}
+
+// PeekRegister reads the named register without simulated latency.
+func (c *Cache) PeekRegister(key string) string {
+	if e := c.entries[key]; e != nil && e.kind == KindRegister {
+		return e.reg.Get()
+	}
+	return ""
+}
+
+// PeekSet reads the named OR-set's membership without simulated latency.
+func (c *Cache) PeekSet(key string) []string {
+	if e := c.entries[key]; e != nil && e.kind == KindSet {
+		return e.set.Elements()
+	}
+	return nil
+}
+
+// DirtyKeys reports how many entries await the write-behind flush.
+func (c *Cache) DirtyKeys() int { return len(c.dirty) }
+
+// sortedKeys returns the replica's key set in deterministic order.
+func (c *Cache) sortedKeys() []string {
+	keys := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// flushDirty write-behind-flushes every currently dirty entry, in key
+// order. Each key is cleared from the dirty set before its flush starts:
+// a mutation that lands mid-flush re-marks the key and is caught by the
+// next cycle instead of being silently clobbered.
+func (c *Cache) flushDirty(p *sim.Proc) {
+	if len(c.dirty) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(c.dirty))
+	for k := range c.dirty {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		delete(c.dirty, key)
+		if err := c.flushKey(p, key); err != nil {
+			panic("statecache: flush: " + err.Error())
+		}
+	}
+}
+
+// Value is a decoded stored entry: the read surface for consumers pulling
+// flushed lattice state straight from the backing store (an experiment
+// verifying durability, a cold replica warming from the store).
+type Value struct{ e *entry }
+
+// DecodeValue parses a kvstore item the write-behind flush persisted.
+func DecodeValue(data []byte) (Value, error) {
+	e, err := decodeEntry(data)
+	if err != nil {
+		return Value{}, err
+	}
+	return Value{e: e}, nil
+}
+
+// Kind reports which lattice the value holds.
+func (v Value) Kind() Kind { return v.e.kind }
+
+// Counter returns the PN-counter total (0 for other kinds).
+func (v Value) Counter() int64 {
+	if v.e.kind == KindPNCounter {
+		return v.e.pn.Value()
+	}
+	return 0
+}
+
+// GCounter returns the G-counter total (0 for other kinds).
+func (v Value) GCounter() int64 {
+	if v.e.kind == KindGCounter {
+		return v.e.g.Value()
+	}
+	return 0
+}
+
+// Register returns the register value ("" for other kinds).
+func (v Value) Register() string {
+	if v.e.kind == KindRegister {
+		return v.e.reg.Get()
+	}
+	return ""
+}
+
+// SetElements returns the OR-set membership (nil for other kinds).
+func (v Value) SetElements() []string {
+	if v.e.kind == KindSet {
+		return v.e.set.Elements()
+	}
+	return nil
+}
+
+// flushKey persists one entry as a read-merge-write upsert: fetch the
+// stored lattice, join it into the local state (the store is just another
+// replica), and conditionally write the join back. Losing the conditional
+// write means another replica flushed concurrently; the retry re-reads and
+// re-joins, so no side's deltas are lost.
+func (c *Cache) flushKey(p *sim.Proc, key string) error {
+	e := c.entries[key]
+	if e == nil {
+		return nil
+	}
+	c.fresh(e)
+	storeKey := c.cl.name + "/" + key
+	for attempt := 0; attempt < c.cl.cfg.FlushRetries; attempt++ {
+		var version int64
+		it, err := c.cl.store.Get(p, c.node, storeKey, true)
+		switch {
+		case err == nil:
+			stored, derr := decodeEntry(it.Value)
+			if derr != nil {
+				return fmt.Errorf("stored %q: %w", storeKey, derr)
+			}
+			c.reweigh(e.merge(stored))
+			version = it.Version
+		case errors.Is(err, kvstore.ErrNotFound):
+			version = 0
+		default:
+			return err
+		}
+		_, err = c.cl.store.ConditionalPut(p, c.node, storeKey, e.encode(), version)
+		if err == nil {
+			c.cl.flushWrites++
+			return nil
+		}
+		if !errors.Is(err, kvstore.ErrConditionFailed) {
+			return err
+		}
+	}
+	return fmt.Errorf("lost %d conditional writes on %q", c.cl.cfg.FlushRetries, storeKey)
+}
