@@ -1,7 +1,6 @@
 package faas
 
 import (
-	"encoding/json"
 	"fmt"
 	"time"
 
@@ -17,28 +16,10 @@ type SQSRecord struct {
 }
 
 // SQSEvent is the payload shape delivered to SQS-triggered functions.
+// EncodeSQSEvent and DecodeSQSEvent (sqsjson.go) convert between message
+// batches and payload bytes.
 type SQSEvent struct {
 	Records []SQSRecord `json:"records"`
-}
-
-// EncodeSQSEvent serializes messages into an invocation payload.
-func EncodeSQSEvent(msgs []queue.Message) []byte {
-	ev := SQSEvent{Records: make([]SQSRecord, len(msgs))}
-	for i, m := range msgs {
-		ev.Records[i] = SQSRecord{MessageID: m.ID, Receipt: m.Receipt, Body: string(m.Body)}
-	}
-	b, err := json.Marshal(ev)
-	if err != nil {
-		panic("faas: encoding SQS event: " + err.Error())
-	}
-	return b
-}
-
-// DecodeSQSEvent parses an invocation payload back into an event.
-func DecodeSQSEvent(payload []byte) (SQSEvent, error) {
-	var ev SQSEvent
-	err := json.Unmarshal(payload, &ev)
-	return ev, err
 }
 
 // EventSourceMapping is a poller fleet that drains an SQS queue into a

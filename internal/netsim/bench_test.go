@@ -1,13 +1,15 @@
 package netsim
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/sim"
 )
 
-// BenchmarkMaxMinSolve measures the water-filling solver at the contention
-// level of the bandwidth-collapse experiment (20 flows over shared links).
+// BenchmarkMaxMinSolve measures a full water-filling re-solve at the
+// contention level of the bandwidth-collapse experiment (20 flows over
+// shared links).
 func BenchmarkMaxMinSolve(b *testing.B) {
 	k := sim.NewKernel()
 	defer k.Close()
@@ -17,9 +19,11 @@ func BenchmarkMaxMinSolve(b *testing.B) {
 	for i := 0; i < 20; i++ {
 		f.TransferAsync(1e12, shared, sink)
 	}
+	seeds := []*Link{shared, sink}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		f.solve()
+		f.solveComponent(seeds, nil)
 	}
 }
 
@@ -36,9 +40,67 @@ func BenchmarkTransferLifecycle(b *testing.B) {
 			done++
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
 	if done != b.N {
 		b.Fatalf("completed %d, want %d", done, b.N)
+	}
+}
+
+// BenchmarkFabricChurn measures transfer start/finish churn against a
+// backdrop of concurrent long-lived flows sharing the same links — the
+// steady-state hot path every scaled experiment funnels through. The
+// allocs/op column is gated at zero in CI.
+func BenchmarkFabricChurn(b *testing.B) {
+	for _, flows := range []int{1, 20, 200} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			k := sim.NewKernel()
+			defer k.Close()
+			f := NewFabric(k)
+			shared := f.NewLink("vm-nic", Mbps(538))
+			sink := f.NewLink("sink", Gbps(400))
+			for i := 0; i < flows-1; i++ {
+				f.TransferAsync(1e15, shared, sink)
+			}
+			done := 0
+			k.Spawn("churn", func(p *sim.Proc) {
+				// Warm the arena and scratch before the timer starts.
+				f.Transfer(p, 64e3, shared, sink)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					f.Transfer(p, 64e3, shared, sink)
+					done++
+				}
+			})
+			k.Run()
+			if done != b.N {
+				b.Fatalf("completed %d, want %d", done, b.N)
+			}
+		})
+	}
+}
+
+// BenchmarkFabricRateProbe measures the read-only Rate probe against 20
+// concurrent flows. The probe water-fills hypothetically in scratch space;
+// its allocs/op column is gated at zero in CI.
+func BenchmarkFabricRateProbe(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	shared := f.NewLink("vm-nic", Mbps(538))
+	sink := f.NewLink("sink", Gbps(400))
+	for i := 0; i < 20; i++ {
+		f.TransferAsync(1e12, shared, sink)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var r Bps
+	for i := 0; i < b.N; i++ {
+		r = f.Rate(shared, sink)
+	}
+	if r <= 0 {
+		b.Fatal("probe returned no rate")
 	}
 }

@@ -9,6 +9,16 @@
 // makes the paper's observation — per-function bandwidth collapsing from
 // 538 Mbps to ~28 Mbps when 20 functions share a VM's NIC — an emergent
 // property of the simulation rather than a constant.
+//
+// The engine is flat and incremental, mirroring the internal/sim kernel
+// playbook: flows live as values in an arena with an embedded free list and
+// int32 ids, per-link membership is an attach-ordered id slice, the solver
+// water-fills over epoch-stamped scratch held inside the Link and flow
+// slots, and a flow start/finish re-solves only the connected component of
+// links reachable from the touched flow — rates of unaffected components
+// carry forward bit-identically. The steady-state transfer start/progress/
+// complete cycle performs zero heap allocations (gated in CI). See
+// DESIGN.md "Fabric internals" for the determinism argument.
 package netsim
 
 import (
@@ -36,7 +46,18 @@ func MBps(v float64) Bps { return Bps(v * 1e6) }
 type Link struct {
 	name     string
 	capacity Bps
-	flows    map[*flow]struct{}
+	// flowIDs is the set of flows currently crossing the link, in attach
+	// order — the order completions are released in and the order the
+	// solver freezes a bottleneck's flows in.
+	flowIDs []int32
+
+	// Solver scratch, valid only for the epoch stamped in mark: free is the
+	// unassigned capacity and unfrozen the number of member flows without a
+	// rate yet. Keeping the scratch inside the Link (instead of per-solve
+	// maps) is what makes a re-solve allocation-free.
+	mark     uint64
+	free     float64
+	unfrozen int32
 }
 
 // Name returns the label given at creation.
@@ -46,43 +67,77 @@ func (l *Link) Name() string { return l.name }
 func (l *Link) Capacity() Bps { return l.capacity }
 
 // ActiveFlows reports the number of flows currently crossing the link.
-func (l *Link) ActiveFlows() int { return len(l.flows) }
+func (l *Link) ActiveFlows() int { return len(l.flowIDs) }
 
 // SetCapacity changes the link's capacity; rates of in-flight flows are
 // re-derived immediately (used by ablations that upgrade NICs mid-run).
+// Only the link's connected component is re-solved.
 func (l *Link) SetCapacity(f *Fabric, c Bps) {
 	if c <= 0 {
 		panic("netsim: link capacity must be positive")
 	}
 	l.capacity = c
-	f.recompute()
+	f.seedLinks = append(f.seedLinks[:0], l)
+	f.recomputeSeeded()
 }
 
-// flow is one in-flight bulk transfer.
-type flow struct {
-	links     []*Link
+// noFlow is the nil value for flow-arena indices.
+const noFlow int32 = -1
+
+// flowSlot is one in-flight bulk transfer, stored by value in the fabric's
+// arena. Freed slots thread onto the free list via next and are recycled by
+// the next start, so steady-state transfer churn allocates nothing.
+type flowSlot struct {
+	links     []*Link // crossed links; backing array reused across lives
 	remaining float64 // bytes
 	rate      Bps
 	updated   sim.Time
-	done      sim.Latch
+	// done wakes the blocking Transfer caller (at most one waiter); its
+	// waiter storage is recycled by sim.Signal across slot reuses. ext is
+	// the escaping latch handed out by TransferAsync — allocated per call,
+	// because callers may hold it past the flow's lifetime.
+	done sim.Signal
+	ext  *sim.Latch
+	next int32 // free-list link while the slot is idle
+
+	// Solver scratch: seen stamps BFS component discovery, frozen stamps
+	// rate assignment, both valid only for the fabric's current epoch.
+	seen   uint64
+	frozen uint64
 }
 
 // Fabric owns the flows crossing a set of links. Links are created through
 // NewLink but the fabric only tracks links that currently carry flows, so
 // short-lived per-connection limiter links cost nothing once idle.
+//
+// A Fabric's state is confined to the kernel's single-threaded event world:
+// all methods must be called from process or event context.
 type Fabric struct {
-	k     *sim.Kernel
-	flows map[*flow]struct{}
+	k *sim.Kernel
 	// completion fires at the estimated next flow-completion time. Every
 	// recompute moves the single reusable timer instead of abandoning a
-	// dead event in the kernel queue (the old generation-counter scheme
-	// left one no-op event behind per rate change).
+	// dead event in the kernel queue.
 	completion *sim.Timer
+
+	flows    []flowSlot
+	freeFlow int32   // head of the slot free list
+	order    []int32 // active flow ids in attach order
+
+	// epoch brands the per-link and per-flow solver scratch; bumping it is
+	// how a new solve invalidates old stamps without clearing anything.
+	epoch uint64
+	// Reusable scratch: seedLinks carries the links touched by the current
+	// event into the solver, compLinks doubles as BFS queue and visited
+	// component links, compFlows is the component's flows in discovery
+	// order.
+	seedLinks []*Link
+	compLinks []*Link
+	compFlows []int32
 }
 
 // NewFabric returns an empty fabric bound to kernel k.
 func NewFabric(k *sim.Kernel) *Fabric {
-	f := &Fabric{k: k, flows: make(map[*flow]struct{})}
+	f := &Fabric{k: k, freeFlow: noFlow}
 	f.completion = k.NewTimer(f.recompute)
 	return f
 }
@@ -92,170 +147,173 @@ func (f *Fabric) NewLink(name string, capacity Bps) *Link {
 	if capacity <= 0 {
 		panic("netsim: link capacity must be positive")
 	}
-	return &Link{name: name, capacity: capacity, flows: make(map[*flow]struct{})}
-}
-
-// activeLinks returns the links crossed by at least one active flow.
-func (f *Fabric) activeLinks() map[*Link]struct{} {
-	set := make(map[*Link]struct{})
-	for fl := range f.flows {
-		for _, l := range fl.links {
-			set[l] = struct{}{}
-		}
-	}
-	return set
+	return &Link{name: name, capacity: capacity}
 }
 
 // InFlight reports the number of active flows in the fabric.
-func (f *Fabric) InFlight() int { return len(f.flows) }
-
-// Rate returns the current max-min fair rate a new flow over the given links
-// would receive, without starting a transfer. It is used by tests and by
-// components that want to observe instantaneous per-flow bandwidth.
-func (f *Fabric) Rate(links ...*Link) Bps {
-	probe := &flow{links: links, remaining: math.MaxFloat64}
-	f.attach(probe)
-	rates := f.solve()
-	r := rates[probe]
-	f.detach(probe)
-	f.recompute()
-	return r
-}
+func (f *Fabric) InFlight() int { return len(f.order) }
 
 // Transfer moves size bytes across the given links, blocking the calling
 // process until the transfer completes. A transfer of zero bytes (or with no
 // links) completes immediately. The elapsed virtual time reflects max-min
 // fair sharing with every other concurrent transfer.
 func (f *Fabric) Transfer(p *sim.Proc, size int64, links ...*Link) {
-	fl := f.start(size, links...)
-	if fl == nil {
+	id := f.start(size, links)
+	if id == noFlow {
 		return
 	}
-	fl.done.Wait(p)
+	// The slot cannot complete between start and Wait (its remaining is
+	// >= 1 byte and no event runs in between), so the signal is armed
+	// before any completion can fire it.
+	f.flows[id].done.Wait(p)
 }
 
 // TransferAsync begins a transfer and returns a latch that is released on
-// completion (already released for empty transfers).
+// completion (already released for empty transfers). The latch is allocated
+// per call because it may outlive the flow; the blocking Transfer path
+// stays allocation-free.
 func (f *Fabric) TransferAsync(size int64, links ...*Link) *sim.Latch {
-	fl := f.start(size, links...)
-	if fl == nil {
-		l := &sim.Latch{}
+	l := &sim.Latch{}
+	id := f.start(size, links)
+	if id == noFlow {
 		l.Release()
 		return l
 	}
-	return &fl.done
+	f.flows[id].ext = l
+	return l
 }
 
-func (f *Fabric) start(size int64, links ...*Link) *flow {
+// start attaches a new flow and re-solves its component. It returns noFlow
+// for empty transfers.
+func (f *Fabric) start(size int64, links []*Link) int32 {
 	if size <= 0 || len(links) == 0 {
-		return nil
+		return noFlow
 	}
-	fl := &flow{links: links, remaining: float64(size), updated: f.k.Now()}
-	f.attach(fl)
-	f.recompute()
-	return fl
+	id := f.alloc()
+	s := &f.flows[id]
+	s.links = append(s.links[:0], links...)
+	s.remaining = float64(size)
+	s.rate = 0
+	s.updated = f.k.Now()
+	f.order = append(f.order, id)
+	for i, l := range links {
+		// Membership is a set: a caller listing the same link twice joins
+		// it once (the freshly allocated id cannot already be a member, so
+		// only the flow's own short link list needs checking).
+		if !dupLink(links, i) {
+			l.flowIDs = append(l.flowIDs, id)
+		}
+	}
+	f.seedLinks = append(f.seedLinks[:0], links...)
+	f.recomputeSeeded()
+	return id
 }
 
-func (f *Fabric) attach(fl *flow) {
-	f.flows[fl] = struct{}{}
-	for _, l := range fl.links {
-		l.flows[fl] = struct{}{}
+// alloc takes a slot off the free list, or extends the arena.
+func (f *Fabric) alloc() int32 {
+	if f.freeFlow != noFlow {
+		id := f.freeFlow
+		f.freeFlow = f.flows[id].next
+		return id
 	}
+	f.flows = append(f.flows, flowSlot{next: noFlow})
+	return int32(len(f.flows) - 1)
 }
 
-func (f *Fabric) detach(fl *flow) {
-	delete(f.flows, fl)
-	for _, l := range fl.links {
-		delete(l.flows, fl)
+// removeID deletes the first occurrence of id, preserving order (attach
+// order is the completion-release order, so a swap-remove would reintroduce
+// the nondeterminism this engine pins down).
+func removeID(ids []int32, id int32) []int32 {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
 	}
+	return ids
 }
 
 // advance charges each active flow for progress made since its last update.
 func (f *Fabric) advance() {
 	now := f.k.Now()
-	for fl := range f.flows {
-		if dt := now - fl.updated; dt > 0 && fl.rate > 0 {
-			fl.remaining -= float64(fl.rate) * dt.Seconds()
-			if fl.remaining < 0 {
-				fl.remaining = 0
+	for _, id := range f.order {
+		s := &f.flows[id]
+		if dt := now - s.updated; dt > 0 && s.rate > 0 {
+			s.remaining -= float64(s.rate) * dt.Seconds()
+			if s.remaining < 0 {
+				s.remaining = 0
 			}
 		}
-		fl.updated = now
+		s.updated = now
 	}
 }
 
-// solve computes max-min fair rates by progressive water-filling: repeatedly
-// find the most constrained link, freeze its flows at the fair share, remove
-// that capacity, and continue until every flow has a rate.
-func (f *Fabric) solve() map[*flow]Bps {
-	rates := make(map[*flow]Bps, len(f.flows))
-	links := f.activeLinks()
-	free := make(map[*Link]float64, len(links))
-	unfrozen := make(map[*Link]int, len(links))
-	for l := range links {
-		free[l] = float64(l.capacity)
-		unfrozen[l] = len(l.flows)
+// completeDrained releases every flow that has drained (within half a byte
+// of zero) in attach order — the deterministic completion contract: when
+// several flows finish in the same recompute, their waiters wake in the
+// order the transfers started, not in map-iteration order. Each completed
+// flow's links join seedLinks so the residual components re-solve.
+func (f *Fabric) completeDrained() {
+	w := 0
+	for _, id := range f.order {
+		s := &f.flows[id]
+		if s.remaining >= 0.5 {
+			f.order[w] = id
+			w++
+			continue
+		}
+		for i, l := range s.links {
+			l.flowIDs = removeID(l.flowIDs, id)
+			f.seedLinks = append(f.seedLinks, l)
+			// Drop the reference so a recycled slot cannot pin dead
+			// links (short-lived per-connection limiters) in memory; the
+			// backing array itself is kept for reuse.
+			s.links[i] = nil
+		}
+		s.links = s.links[:0]
+		s.done.Fire()
+		if s.ext != nil {
+			s.ext.Release()
+			s.ext = nil
+		}
+		s.next = f.freeFlow
+		f.freeFlow = id
 	}
-	frozen := make(map[*flow]bool, len(f.flows))
-	for len(frozen) < len(f.flows) {
-		// Find the bottleneck link: smallest fair share among links that
-		// still carry unfrozen flows.
-		var bottleneck *Link
-		share := math.MaxFloat64
-		for l, n := range unfrozen {
-			if n <= 0 {
-				continue
-			}
-			if s := free[l] / float64(n); s < share {
-				share = s
-				bottleneck = l
-			}
-		}
-		if bottleneck == nil {
-			// Remaining flows cross only links with no constraint left;
-			// cannot happen while unfrozen flows exist on real links.
-			break
-		}
-		for fl := range bottleneck.flows {
-			if frozen[fl] {
-				continue
-			}
-			frozen[fl] = true
-			rates[fl] = Bps(share)
-			for _, l := range fl.links {
-				free[l] -= share
-				if free[l] < 0 {
-					free[l] = 0
-				}
-				unfrozen[l]--
-			}
-		}
-	}
-	return rates
+	f.order = f.order[:w]
 }
 
-// recompute advances progress, re-solves rates, completes finished flows and
-// schedules the next completion event.
+// recompute is the completion-timer callback: advance progress, complete
+// drained flows, re-solve their components, reschedule.
 func (f *Fabric) recompute() {
+	f.seedLinks = f.seedLinks[:0]
+	f.recomputeSeeded()
+}
+
+// recomputeSeeded advances progress, completes drained flows, re-solves the
+// connected components reachable from seedLinks (plus those of completed
+// flows), and schedules the next completion event. Components not reachable
+// from any seed keep their rates — which a full solve would recompute to
+// the bit-identical values, since max-min water-filling treats disjoint
+// components independently.
+func (f *Fabric) recomputeSeeded() {
 	f.advance()
-
-	// Complete flows that have drained (within half a byte of zero).
-	for fl := range f.flows {
-		if fl.remaining < 0.5 {
-			f.detach(fl)
-			fl.done.Release()
-		}
+	f.completeDrained()
+	if len(f.seedLinks) > 0 {
+		f.solveComponent(f.seedLinks, nil)
 	}
+	f.reschedule()
+}
 
-	rates := f.solve()
+// reschedule moves the completion timer to the earliest estimated flow
+// completion, and checks the no-starvation invariant.
+func (f *Fabric) reschedule() {
 	var nextDone sim.Time = -1
 	now := f.k.Now()
-	for fl := range f.flows {
-		fl.rate = rates[fl]
-		if fl.rate <= 0 {
-			panic(fmt.Sprintf("netsim: flow starved (links %v)", linkNames(fl.links)))
+	for _, id := range f.order {
+		s := &f.flows[id]
+		if s.rate <= 0 {
+			panic(fmt.Sprintf("netsim: flow starved (links %v)", linkNames(s.links)))
 		}
-		finish := now + time.Duration(fl.remaining/float64(fl.rate)*float64(time.Second))
+		finish := now + time.Duration(s.remaining/float64(s.rate)*float64(time.Second))
 		if finish <= now {
 			finish = now + 1 // at least one tick of progress
 		}
@@ -268,6 +326,173 @@ func (f *Fabric) recompute() {
 	} else {
 		f.completion.Stop()
 	}
+}
+
+// Rate returns the current max-min fair rate a new flow over the given links
+// would receive, without starting a transfer. It is a read-only probe: the
+// hypothetical flow is water-filled against the live component in scratch
+// space, with no attach/detach churn, no progress advance and no completion
+// timer movement.
+func (f *Fabric) Rate(links ...*Link) Bps {
+	if len(links) == 0 {
+		return 0
+	}
+	return Bps(f.solveComponent(links, links))
+}
+
+// solveComponent re-solves the connected components of links reachable from
+// seeds by progressive water-filling: repeatedly find the most constrained
+// link, freeze its flows at the fair share, remove that capacity, and
+// continue until every component flow has a rate. Freezing iterates a
+// bottleneck's flows in attach order and ties between equally constrained
+// links break by discovery order; both orders are deterministic, and
+// neither changes the allocation — the max-min fair point is unique, and
+// every flow frozen in one round subtracts the same share, so the float
+// arithmetic is order-independent.
+//
+// With probe non-nil, a hypothetical flow over the probe links rides along:
+// it contributes to its links' demand and freezes like any other flow, but
+// no real flow's stored rate is modified. Probe links must be included in
+// seeds (Rate passes one slice as both). The return value is the probe's
+// rate (0 when probe is nil).
+func (f *Fabric) solveComponent(seeds []*Link, probe []*Link) float64 {
+	f.epoch++
+	epoch := f.epoch
+	readOnly := probe != nil
+
+	// Flood the component(s): links reachable from the seeds through
+	// shared flows. compLinks doubles as the BFS queue.
+	f.compLinks = f.compLinks[:0]
+	f.compFlows = f.compFlows[:0]
+	for _, l := range seeds {
+		if l.mark != epoch {
+			l.mark = epoch
+			f.compLinks = append(f.compLinks, l)
+		}
+	}
+	for i := 0; i < len(f.compLinks); i++ {
+		for _, id := range f.compLinks[i].flowIDs {
+			s := &f.flows[id]
+			if s.seen == epoch {
+				continue
+			}
+			s.seen = epoch
+			f.compFlows = append(f.compFlows, id)
+			for _, l := range s.links {
+				if l.mark != epoch {
+					l.mark = epoch
+					f.compLinks = append(f.compLinks, l)
+				}
+			}
+		}
+	}
+
+	for _, l := range f.compLinks {
+		l.free = float64(l.capacity)
+		l.unfrozen = int32(len(l.flowIDs))
+	}
+	var probeRate float64
+	probeFrozen := probe == nil
+	if probe != nil {
+		// The probe raises demand once per distinct link it crosses
+		// (membership is a set), like an attached flow would. Probe links
+		// are always among the seeds (Rate passes the same slice), so
+		// their scratch was initialized just above.
+		for i, l := range probe {
+			if !dupLink(probe, i) {
+				l.unfrozen++
+			}
+		}
+	}
+
+	total := len(f.compFlows)
+	if probe != nil {
+		total++
+	}
+	frozenCount := 0
+	for frozenCount < total {
+		// Find the bottleneck link: smallest fair share among links that
+		// still carry unfrozen flows.
+		var bottleneck *Link
+		share := math.MaxFloat64
+		for _, l := range f.compLinks {
+			if l.unfrozen <= 0 {
+				continue
+			}
+			if s := l.free / float64(l.unfrozen); s < share {
+				share = s
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			// Remaining flows cross only links with no constraint left;
+			// cannot happen while unfrozen flows exist on real links.
+			break
+		}
+		if !probeFrozen && containsLink(probe, bottleneck) {
+			probeFrozen = true
+			probeRate = share
+			frozenCount++
+			for _, l := range probe {
+				l.free -= share
+				if l.free < 0 {
+					l.free = 0
+				}
+				l.unfrozen--
+			}
+		}
+		for _, id := range bottleneck.flowIDs {
+			s := &f.flows[id]
+			if s.frozen == epoch {
+				continue
+			}
+			s.frozen = epoch
+			frozenCount++
+			if !readOnly {
+				s.rate = Bps(share)
+			}
+			// Capacity is subtracted once per slice entry, membership
+			// counted once per distinct link — preserving the historical
+			// semantics for flows listing a link twice.
+			for _, l := range s.links {
+				l.free -= share
+				if l.free < 0 {
+					l.free = 0
+				}
+				l.unfrozen--
+			}
+		}
+	}
+	if !readOnly {
+		for _, id := range f.compFlows {
+			if f.flows[id].frozen != epoch {
+				// The break path left this flow without a rate; surface it
+				// as the starvation panic reschedule would raise.
+				f.flows[id].rate = 0
+			}
+		}
+	}
+	return probeRate
+}
+
+// containsLink reports whether links holds l.
+func containsLink(links []*Link, l *Link) bool {
+	for _, v := range links {
+		if v == l {
+			return true
+		}
+	}
+	return false
+}
+
+// dupLink reports whether links[i] already occurred before index i.
+func dupLink(links []*Link, i int) bool {
+	for _, v := range links[:i] {
+		if v == links[i] {
+			return true
+		}
+	}
+	return false
 }
 
 func linkNames(links []*Link) []string {

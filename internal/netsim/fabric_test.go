@@ -87,18 +87,19 @@ func TestMaxMinBottleneckRates(t *testing.T) {
 	f := NewFabric(k)
 	l1 := f.NewLink("l1", MBps(100))
 	l2 := f.NewLink("l2", MBps(50))
-	// Start three long transfers, then probe the instantaneous rates.
+	// Start three long transfers; rates are re-solved incrementally on
+	// every start, so they can be read straight off the flow slots.
 	f.TransferAsync(1e12, l1)
 	f.TransferAsync(1e12, l1, l2)
 	f.TransferAsync(1e12, l2)
-	rates := f.solve()
 	got := map[string]float64{}
-	for fl, r := range rates {
+	for _, id := range f.order {
+		s := &f.flows[id]
 		key := ""
-		for _, l := range fl.links {
+		for _, l := range s.links {
 			key += l.Name()
 		}
-		got[key] = float64(r) / 1e6
+		got[key] = float64(s.rate) / 1e6
 	}
 	if !almostEqual(got["l1"], 75, 0.01) {
 		t.Errorf("A rate = %v MB/s, want 75", got["l1"])
@@ -136,13 +137,11 @@ func TestBandwidthCollapseUnderPacking(t *testing.T) {
 	defer k.Close()
 	f := NewFabric(k)
 	nic := f.NewLink("host-nic", Mbps(538))
-	for i := 0; i < 19; i++ {
+	for i := 0; i < 20; i++ {
 		f.TransferAsync(1e12, nic)
 	}
-	f.TransferAsync(1e12, nic)
-	perFlow := f.solve()
-	for _, r := range perFlow {
-		mbps := float64(r) * 8 / 1e6
+	for _, id := range f.order {
+		mbps := float64(f.flows[id].rate) * 8 / 1e6
 		if !almostEqual(mbps, 538.0/20, 0.01) {
 			t.Fatalf("per-flow rate = %.1f Mbps, want %.1f", mbps, 538.0/20)
 		}
@@ -238,6 +237,40 @@ func TestQuickEqualSharingConservation(t *testing.T) {
 	}
 }
 
+// TestCompletionOrderIsAttachOrder pins the fix for the latent completion
+// nondeterminism: when several flows drain in the same recompute (equal
+// fair shares on one link, identical sizes, so they finish simultaneously),
+// their done-latches must release — and their waiters wake — in attach
+// order. The historical engine iterated a map here, waking waiters in Go's
+// randomized map order; this test fails against it in all but 1/N! runs.
+func TestCompletionOrderIsAttachOrder(t *testing.T) {
+	const n = 8
+	for trial := 0; trial < 10; trial++ {
+		k := sim.NewKernel()
+		f := NewFabric(k)
+		l := f.NewLink("nic", MBps(100))
+		var woke []int
+		for i := 0; i < n; i++ {
+			i := i
+			latch := f.TransferAsync(10e6, l)
+			k.Spawn("waiter", func(p *sim.Proc) {
+				latch.Wait(p)
+				woke = append(woke, i)
+			})
+		}
+		k.Run()
+		k.Close()
+		if len(woke) != n {
+			t.Fatalf("trial %d: %d of %d waiters woke", trial, len(woke), n)
+		}
+		for i, v := range woke {
+			if v != i {
+				t.Fatalf("trial %d: waiters woke in order %v, want attach order", trial, woke)
+			}
+		}
+	}
+}
+
 // Property: max-min rates never exceed any crossed link's capacity and
 // every link with at least one flow is fully utilized or all its flows are
 // bottlenecked elsewhere.
@@ -262,32 +295,31 @@ func TestQuickMaxMinFeasibleAndEfficient(t *testing.T) {
 			}
 			f.TransferAsync(1e12, fls...)
 		}
-		rates := f.solve()
+		linkSum := func(l *Link) float64 {
+			var sum float64
+			for _, id := range l.flowIDs {
+				sum += float64(f.flows[id].rate)
+			}
+			return sum
+		}
 		// Feasibility: per-link sum of rates <= capacity (+0.1% slack).
 		for _, l := range links {
-			var sum float64
-			for fl := range l.flows {
-				sum += float64(rates[fl])
-			}
-			if sum > float64(l.capacity)*1.001 {
+			if linkSum(l) > float64(l.capacity)*1.001 {
 				return false
 			}
 		}
 		// Efficiency: every flow is bottlenecked on at least one of its
 		// links (cannot be raised without exceeding some capacity).
-		for fl, r := range rates {
+		for _, id := range f.order {
+			s := &f.flows[id]
 			bottlenecked := false
-			for _, l := range fl.links {
-				var sum float64
-				for other := range l.flows {
-					sum += float64(rates[other])
-				}
-				if sum >= float64(l.capacity)*0.999 {
+			for _, l := range s.links {
+				if linkSum(l) >= float64(l.capacity)*0.999 {
 					bottlenecked = true
 					break
 				}
 			}
-			if !bottlenecked && r > 0 {
+			if !bottlenecked && s.rate > 0 {
 				return false
 			}
 		}

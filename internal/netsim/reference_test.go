@@ -1,0 +1,189 @@
+package netsim
+
+// The pre-rework map-based fluid-flow engine, retained verbatim (modulo
+// renames) as the reference implementation for the randomized equivalence
+// property test: the flat incremental solver must reproduce its rates and
+// completion times across topology churn. Allocation behavior is
+// irrelevant here — only the arithmetic is.
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+type refLink struct {
+	name     string
+	capacity Bps
+	flows    map[*refFlow]struct{}
+}
+
+func (l *refLink) setCapacity(f *refFabric, c Bps) {
+	if c <= 0 {
+		panic("netsim: link capacity must be positive")
+	}
+	l.capacity = c
+	f.recompute()
+}
+
+type refFlow struct {
+	links     []*refLink
+	remaining float64 // bytes
+	rate      Bps
+	updated   sim.Time
+	done      sim.Latch
+}
+
+type refFabric struct {
+	k          *sim.Kernel
+	flows      map[*refFlow]struct{}
+	completion *sim.Timer
+}
+
+func newRefFabric(k *sim.Kernel) *refFabric {
+	f := &refFabric{k: k, flows: make(map[*refFlow]struct{})}
+	f.completion = k.NewTimer(f.recompute)
+	return f
+}
+
+func (f *refFabric) newLink(name string, capacity Bps) *refLink {
+	if capacity <= 0 {
+		panic("netsim: link capacity must be positive")
+	}
+	return &refLink{name: name, capacity: capacity, flows: make(map[*refFlow]struct{})}
+}
+
+func (f *refFabric) activeLinks() map[*refLink]struct{} {
+	set := make(map[*refLink]struct{})
+	for fl := range f.flows {
+		for _, l := range fl.links {
+			set[l] = struct{}{}
+		}
+	}
+	return set
+}
+
+func (f *refFabric) transferAsync(size int64, links ...*refLink) *sim.Latch {
+	fl := f.start(size, links...)
+	if fl == nil {
+		l := &sim.Latch{}
+		l.Release()
+		return l
+	}
+	return &fl.done
+}
+
+func (f *refFabric) start(size int64, links ...*refLink) *refFlow {
+	if size <= 0 || len(links) == 0 {
+		return nil
+	}
+	fl := &refFlow{links: links, remaining: float64(size), updated: f.k.Now()}
+	f.attach(fl)
+	f.recompute()
+	return fl
+}
+
+func (f *refFabric) attach(fl *refFlow) {
+	f.flows[fl] = struct{}{}
+	for _, l := range fl.links {
+		l.flows[fl] = struct{}{}
+	}
+}
+
+func (f *refFabric) detach(fl *refFlow) {
+	delete(f.flows, fl)
+	for _, l := range fl.links {
+		delete(l.flows, fl)
+	}
+}
+
+func (f *refFabric) advance() {
+	now := f.k.Now()
+	for fl := range f.flows {
+		if dt := now - fl.updated; dt > 0 && fl.rate > 0 {
+			fl.remaining -= float64(fl.rate) * dt.Seconds()
+			if fl.remaining < 0 {
+				fl.remaining = 0
+			}
+		}
+		fl.updated = now
+	}
+}
+
+// solve computes max-min fair rates by progressive water-filling over
+// per-solve maps, exactly as the historical engine did.
+func (f *refFabric) solve() map[*refFlow]Bps {
+	rates := make(map[*refFlow]Bps, len(f.flows))
+	links := f.activeLinks()
+	free := make(map[*refLink]float64, len(links))
+	unfrozen := make(map[*refLink]int, len(links))
+	for l := range links {
+		free[l] = float64(l.capacity)
+		unfrozen[l] = len(l.flows)
+	}
+	frozen := make(map[*refFlow]bool, len(f.flows))
+	for len(frozen) < len(f.flows) {
+		var bottleneck *refLink
+		share := math.MaxFloat64
+		for l, n := range unfrozen {
+			if n <= 0 {
+				continue
+			}
+			if s := free[l] / float64(n); s < share {
+				share = s
+				bottleneck = l
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		for fl := range bottleneck.flows {
+			if frozen[fl] {
+				continue
+			}
+			frozen[fl] = true
+			rates[fl] = Bps(share)
+			for _, l := range fl.links {
+				free[l] -= share
+				if free[l] < 0 {
+					free[l] = 0
+				}
+				unfrozen[l]--
+			}
+		}
+	}
+	return rates
+}
+
+func (f *refFabric) recompute() {
+	f.advance()
+	for fl := range f.flows {
+		if fl.remaining < 0.5 {
+			f.detach(fl)
+			fl.done.Release()
+		}
+	}
+	rates := f.solve()
+	var nextDone sim.Time = -1
+	now := f.k.Now()
+	for fl := range f.flows {
+		fl.rate = rates[fl]
+		if fl.rate <= 0 {
+			panic(fmt.Sprintf("netsim: reference flow starved (%d links)", len(fl.links)))
+		}
+		finish := now + time.Duration(fl.remaining/float64(fl.rate)*float64(time.Second))
+		if finish <= now {
+			finish = now + 1
+		}
+		if nextDone < 0 || finish < nextDone {
+			nextDone = finish
+		}
+	}
+	if nextDone >= 0 {
+		f.completion.ResetAt(nextDone)
+	} else {
+		f.completion.Stop()
+	}
+}

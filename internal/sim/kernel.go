@@ -166,7 +166,7 @@ func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
 			body:   fn,
 		}
 		k.allProcs = append(k.allProcs, p)
-		go p.loop()
+		startWorker(p)
 	}
 	k.liveProcs++
 	k.schedule(k.now, nil, p)
@@ -198,6 +198,52 @@ func (k *Kernel) nextIsRQ() bool {
 	}
 	top := &k.events.arena[k.events.min()]
 	return top.at > k.now || top.seq > k.rq.peek().seq
+}
+
+// directHandoff lets a parking or exiting process dispatch the next due
+// event itself when that event resumes another (parked) process: it pops
+// the event with exactly the kernel loop's selection logic and hands the
+// run token straight to the target goroutine, so the kernel goroutine
+// stays asleep and the handoff costs one channel operation instead of two.
+// Processes daisy-chain this way until the next event is a callback, out
+// of the RunUntil bound, or absent — then the last process yields and the
+// kernel loop takes over. Because the selection logic is identical, the
+// event order (and every golden trace) is unchanged.
+//
+// It reports whether the event was dispatched; false means the caller must
+// yield to the kernel loop. A recorded failure also returns false so the
+// kernel re-raises the panic before any further event runs.
+func (k *Kernel) directHandoff(self *Proc) bool {
+	if k.failure != nil {
+		return false
+	}
+	var target *Proc
+	if k.rq.len() > 0 && k.nextIsRQ() {
+		if k.until >= 0 && k.now > k.until {
+			return false
+		}
+		// A pending event for self cannot be consumed here: park's inline
+		// fast path already handles it, and an exiting process must leave
+		// it to the kernel loop.
+		target = k.rq.peek().proc
+		if target == nil || target == self {
+			return false
+		}
+		k.rq.pop() // zeroes the peeked slot; target already copied out
+	} else if k.events.len() > 0 {
+		s := k.events.min()
+		e := &k.events.arena[s]
+		if e.proc == nil || e.proc == self || (k.until >= 0 && e.at > k.until) {
+			return false
+		}
+		k.now = e.at
+		target = e.proc
+		k.events.removeAt(0)
+	} else {
+		return false
+	}
+	target.resume <- token{}
+	return true
 }
 
 // RunUntil executes events with timestamps <= until (all events if until is

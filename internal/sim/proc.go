@@ -1,5 +1,7 @@
 package sim
 
+import "sync"
+
 // Proc is a simulated process: a goroutine whose execution is serialized by
 // the kernel and whose notion of time is the kernel's virtual clock. Process
 // bodies are ordinary blocking Go code; blocking operations (Sleep, Queue.Get,
@@ -37,8 +39,64 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// loop is the goroutine backing the process slot: it runs one assigned
-// body per cycle until the kernel shuts down.
+// gslot is a worker goroutine awaiting adoption: its goroutine (with
+// whatever stack it has grown) blocks on next until some kernel's Spawn
+// hands it a fresh Proc to back. Worker goroutines outlive kernels — when
+// a kernel shuts down, each of its goroutines unwinds the body it was
+// running and returns to the global pool instead of terminating, so the
+// next experiment (a benchmark iteration, the next shard-count config)
+// spawns onto recycled goroutines and pre-grown stacks rather than paying
+// runtime.malg and stack-growth copying for every process again.
+type gslot struct {
+	next chan *Proc
+}
+
+// gpool is the cross-kernel worker pool. It is the only simulation state
+// shared between goroutines without a channel handoff, hence the mutex;
+// membership traffic is one push per goroutine per kernel lifetime, not
+// per event.
+var gpool struct {
+	mu   sync.Mutex
+	free []*gslot
+}
+
+// adoptWorker pops a pooled worker, or nil when the pool is empty.
+func adoptWorker() *gslot {
+	gpool.mu.Lock()
+	defer gpool.mu.Unlock()
+	if n := len(gpool.free); n > 0 {
+		s := gpool.free[n-1]
+		gpool.free[n-1] = nil
+		gpool.free = gpool.free[:n-1]
+		return s
+	}
+	return nil
+}
+
+// grind is the worker goroutine's outermost frame: back one kernel's Proc
+// until that kernel shuts down, then rejoin the pool for the next.
+func grind(s *gslot) {
+	for p := range s.next {
+		p.loop()
+		gpool.mu.Lock()
+		gpool.free = append(gpool.free, s)
+		gpool.mu.Unlock()
+	}
+}
+
+// startWorker binds p to a pooled worker goroutine, starting a fresh one if
+// the pool is empty.
+func startWorker(p *Proc) {
+	s := adoptWorker()
+	if s == nil {
+		s = &gslot{next: make(chan *Proc)}
+		go grind(s)
+	}
+	s.next <- p
+}
+
+// loop backs the process slot for one kernel's lifetime: it runs one
+// assigned body per cycle until the kernel shuts down.
 func (p *Proc) loop() {
 	for p.cycle() {
 	}
@@ -69,22 +127,29 @@ func (p *Proc) cycle() (again bool) {
 		p.k.liveProcs--
 		p.body = nil
 		p.k.freeProcs = append(p.k.freeProcs, p)
-		p.k.yield <- token{}
+		if !p.k.directHandoff(p) {
+			p.k.yield <- token{}
+		}
 	}()
 	p.body(p)
 	return
 }
 
-// park returns control to the kernel loop and blocks until the kernel
-// resumes this process (or shuts down).
+// park returns control to the scheduler and blocks until this process is
+// resumed (or the kernel shuts down).
 //
-// Fast path: if the next due event in the kernel's (time, seq) order is
-// this process's own wake-up, park consumes it inline and returns without
-// ever switching to the kernel goroutine — dispatching exactly the event
-// the kernel loop would have dispatched next, so the event order (and thus
-// every golden trace) is unchanged while the two context switches and two
-// channel operations disappear. This is the common case for Sleep when no
-// other event lands inside the sleep interval.
+// Two fast paths dispatch the next due event in the kernel's (time, seq)
+// order straight from this goroutine — exactly the event the kernel loop
+// would have picked next, so the event order (and thus every golden trace)
+// is unchanged while context switches disappear:
+//
+//   - Self-handoff: the next event is this process's own wake-up; park
+//     consumes it inline and returns without switching at all. The common
+//     case for Sleep when no other event lands inside the sleep interval.
+//   - Cross-handoff: the next event resumes another parked process; park
+//     hands the token directly to that process and the kernel goroutine
+//     stays asleep (see Kernel.directHandoff). The common case under load,
+//     where many request processes interleave.
 func (p *Proc) park() {
 	k := p.k
 	if k.rq.len() > 0 {
@@ -105,7 +170,9 @@ func (p *Proc) park() {
 			return
 		}
 	}
-	k.yield <- token{}
+	if !k.directHandoff(p) {
+		k.yield <- token{}
+	}
 	if _, ok := <-p.resume; !ok {
 		panic(killedPanic{})
 	}

@@ -1,0 +1,67 @@
+package statecache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/pricing"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// TestConcurrentFlushesDoNotShareScratch pins the flush-scratch ownership
+// contract: flushKey parks on store round trips, so a second flushDirty on
+// the same replica (the drain process Detach spawns while the periodic
+// flusher is parked mid-iteration) can run concurrently. Each invocation
+// must iterate its own key list — a shared buffer would let the second
+// call rewrite the first's remaining keys under it.
+func TestConcurrentFlushesDoNotShareScratch(t *testing.T) {
+	k := sim.NewKernel()
+	defer k.Close()
+	rng := simrand.New(1)
+	net := netsim.NewNetwork(k, rng.Fork(), netsim.DefaultLatency())
+	meter := &pricing.Meter{}
+	catalog := pricing.Fall2018()
+	store := kvstore.New("ddb", net, 9, rng.Fork(), kvstore.DefaultConfig(), catalog, meter)
+	cfg := DefaultConfig()
+	cfg.GossipInterval = time.Hour
+	cfg.FlushInterval = time.Hour
+	cl := New("cache", net, store, rng.Fork(), cfg, catalog, meter)
+	c := cl.Attach(net.NewNode("vm", 1, netsim.Mbps(538)))
+
+	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	k.Spawn("writer", func(p *sim.Proc) {
+		for _, key := range keys {
+			c.AddCounter(p, key, 1)
+		}
+		// Two flushers over the same dirty set, racing at park points.
+		k.Spawn("flush-1", func(p *sim.Proc) { c.flushDirty(p) })
+		k.Spawn("flush-2", func(p *sim.Proc) { c.flushDirty(p) })
+	})
+	// Bounded horizon: the replica's hourly gossip/flush loops never exit.
+	k.RunUntil(sim.Time(time.Minute))
+
+	if n := c.DirtyKeys(); n != 0 {
+		t.Fatalf("%d keys still dirty after concurrent flushes", n)
+	}
+	k.Spawn("probe", func(p *sim.Proc) {
+		for _, key := range keys {
+			it, err := store.Get(p, c.Node(), "cache/"+key, true)
+			if err != nil {
+				t.Errorf("key %q not flushed: %v", key, err)
+				continue
+			}
+			v, err := DecodeValue(it.Value)
+			if err != nil {
+				t.Errorf("key %q: %v", key, err)
+				continue
+			}
+			if v.Counter() != 1 {
+				t.Errorf("key %q flushed counter = %d, want 1", key, v.Counter())
+			}
+		}
+	})
+	k.RunUntil(sim.Time(2 * time.Minute))
+}

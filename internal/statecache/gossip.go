@@ -17,7 +17,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"sort"
 	"time"
 
 	"repro/internal/crdt"
@@ -119,7 +118,16 @@ func decodeEntry(data []byte) (*entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.refresh()
+	// Digest the raw state bytes instead of re-marshaling the lattice just
+	// decoded from them: for canonically encoded input (everything encode
+	// produces) the hash and footprint are identical, and a non-canonical
+	// encoding only makes the hash conservatively unequal — the comparison
+	// consumers skip work on equality, so that stays sound.
+	h := fnv.New64a()
+	h.Write([]byte{byte(e.kind)})
+	h.Write(env.State)
+	e.bytes = int64(len(env.State)) + envelopeOverheadBytes
+	e.hash = h.Sum64()
 	return e, nil
 }
 
@@ -171,11 +179,10 @@ func (c *Cache) gossipOnce(p *sim.Proc) {
 	cl := c.cl
 	cl.gossipRounds++
 
-	// 1. Digest: c ships one fixed-size line per cached key.
-	digest := int64(cl.cfg.MessageOverheadBytes)
-	for _, k := range c.sortedKeys() {
-		digest += int64(len(k) + cl.cfg.DigestBytesPerKey)
-	}
+	// 1. Digest: c ships one fixed-size line per cached key. The running
+	// key-length sum makes sizing O(1) instead of a walk over every key.
+	digest := int64(cl.cfg.MessageOverheadBytes) +
+		c.keyBytes + int64(len(c.keys)*cl.cfg.DigestBytesPerKey)
 	cl.net.Send(p, c.node, peer.node, digest)
 	if peer.detached {
 		return // reclaimed while the digest was in flight
@@ -219,7 +226,8 @@ func (c *Cache) gossipOnce(p *sim.Proc) {
 // cluster's partition hook. It returns nil when no peer is reachable.
 func (c *Cache) pickPeer() *Cache {
 	cl := c.cl
-	candidates := make([]*Cache, 0, len(cl.replicas))
+	candidates := c.candScratch[:0]
+	defer func() { c.candScratch = candidates[:0] }()
 	for _, cand := range cl.replicas {
 		if cand == c {
 			continue
@@ -239,25 +247,39 @@ func (c *Cache) pickPeer() *Cache {
 // by only one side, or hashing differently. Both sides' entries are
 // freshened on the way, so the hashes compared (and the entry bytes the
 // caller sizes transfers with) reflect every local write so far.
+//
+// Both replicas maintain their key sets pre-sorted, so the diff is a
+// single merge walk — no map iteration (whose order would scramble the
+// freshen-time billing settlements) and no per-round sort. The result
+// reuses a's scratch buffer: a is the round initiator, and one round is a
+// single sequential process, so the buffer cannot be clobbered before the
+// round finishes with it.
 func diffKeys(a, b *Cache) []string {
-	var out []string
-	for k, ae := range a.entries {
-		a.fresh(ae)
-		be, ok := b.entries[k]
-		if ok {
+	out := a.diffScratch[:0]
+	ak, bk := a.keys, b.keys
+	i, j := 0, 0
+	for i < len(ak) || j < len(bk) {
+		switch {
+		case j >= len(bk) || (i < len(ak) && ak[i] < bk[j]):
+			a.fresh(a.entries[ak[i]])
+			out = append(out, ak[i])
+			i++
+		case i >= len(ak) || bk[j] < ak[i]:
+			b.fresh(b.entries[bk[j]])
+			out = append(out, bk[j])
+			j++
+		default: // both hold the key: compare freshened digests
+			ae, be := a.entries[ak[i]], b.entries[bk[j]]
+			a.fresh(ae)
 			b.fresh(be)
-		}
-		if !ok || be.hash != ae.hash {
-			out = append(out, k)
+			if ae.hash != be.hash {
+				out = append(out, ak[i])
+			}
+			i++
+			j++
 		}
 	}
-	for k, be := range b.entries {
-		if _, ok := a.entries[k]; !ok {
-			b.fresh(be)
-			out = append(out, k)
-		}
-	}
-	sort.Strings(out)
+	a.diffScratch = out
 	return out
 }
 
@@ -274,10 +296,22 @@ func (c *Cache) mergeFrom(now sim.Time, src *Cache, keys []string) {
 		if !ok {
 			e = newEntry(se.kind)
 			c.entries[k] = e
+			c.addKey(k)
 		}
 		// Settle any deferred local growth first, so the merge delta and
 		// the changed-state check are against a current footprint/hash.
 		c.fresh(e)
+		if ok && e.hash == se.hash && e.kind == se.kind {
+			// Identical serialized state: the join is an identity, the
+			// footprint delta zero and the digest unchanged, so the merge
+			// (and its re-marshal) can be skipped outright. This is the
+			// common push-direction case after the pull already equalized
+			// the pair.
+			if se.lastWrite > e.lastWrite {
+				e.lastWrite = se.lastWrite
+			}
+			continue
+		}
 		before := e.hash
 		c.reweigh(e.merge(se))
 		if e.hash != before {

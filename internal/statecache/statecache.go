@@ -293,15 +293,40 @@ func (cl *Cluster) addBytes(delta int64) {
 // Cache is one replica, colocated with (and doing all of its network I/O
 // through) a single hosting VM's node.
 type Cache struct {
-	cl       *Cluster
-	node     *netsim.Node
-	replica  string
-	rng      *simrand.RNG
-	entries  map[string]*entry
+	cl      *Cluster
+	node    *netsim.Node
+	replica string
+	rng     *simrand.RNG
+	entries map[string]*entry
+	// keys mirrors entries' key set in sorted order, maintained
+	// incrementally on insert (entries are never individually removed), so
+	// per-gossip-round key iteration neither allocates nor re-sorts.
+	// keyBytes is the running sum of key lengths, which makes digest
+	// sizing O(1).
+	keys     []string
+	keyBytes int64
 	dirty    map[string]bool
 	bytes    int64 // this replica's resident state
 	ops      int64
 	detached bool
+
+	// Reusable scratch. diffScratch backs diffKeys' result and candScratch
+	// pickPeer's candidate list; both are only used by this replica's own
+	// gossip round, which is a single sequential process. flushScratch
+	// backs flushDirty's key list — a separate buffer because the flush
+	// process interleaves with gossip rounds at park points.
+	diffScratch  []string
+	candScratch  []*Cache
+	flushScratch []string
+}
+
+// addKey records a newly created entry's key in the sorted key slice.
+func (c *Cache) addKey(key string) {
+	i := sort.SearchStrings(c.keys, key)
+	c.keys = append(c.keys, "")
+	copy(c.keys[i+1:], c.keys[i:])
+	c.keys[i] = key
+	c.keyBytes += int64(len(key))
 }
 
 // Node returns the VM node the replica is colocated with.
@@ -350,6 +375,7 @@ func (c *Cache) at(key string, kind Kind, create bool) *entry {
 	}
 	e = newEntry(kind)
 	c.entries[key] = e
+	c.addKey(key)
 	return e
 }
 
@@ -521,15 +547,10 @@ func (c *Cache) PeekSet(key string) []string {
 // DirtyKeys reports how many entries await the write-behind flush.
 func (c *Cache) DirtyKeys() int { return len(c.dirty) }
 
-// sortedKeys returns the replica's key set in deterministic order.
-func (c *Cache) sortedKeys() []string {
-	keys := make([]string, 0, len(c.entries))
-	for k := range c.entries {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
+// sortedKeys returns the replica's key set in deterministic order. The
+// slice is the incrementally maintained index itself — callers must not
+// mutate or retain it across entry creations.
+func (c *Cache) sortedKeys() []string { return c.keys }
 
 // flushDirty write-behind-flushes every currently dirty entry, in key
 // order. Each key is cleared from the dirty set before its flush starts:
@@ -539,11 +560,21 @@ func (c *Cache) flushDirty(p *sim.Proc) {
 	if len(c.dirty) == 0 {
 		return
 	}
-	keys := make([]string, 0, len(c.dirty))
-	for k := range c.dirty {
-		keys = append(keys, k)
+	// Walk the sorted key index and pick the dirty ones: same key order as
+	// collecting and sorting the dirty set, without the per-flush sort.
+	// The scratch is taken by ownership for the duration of the walk:
+	// flushKey parks, and a drain process spawned by Detach can call
+	// flushDirty on this replica while the periodic flusher is still
+	// parked mid-iteration — the second caller must not rewrite the
+	// buffer under the first (it allocates its own instead).
+	keys := c.flushScratch[:0]
+	c.flushScratch = nil
+	for _, k := range c.keys {
+		if c.dirty[k] {
+			keys = append(keys, k)
+		}
 	}
-	sort.Strings(keys)
+	defer func() { c.flushScratch = keys }()
 	for _, key := range keys {
 		delete(c.dirty, key)
 		if err := c.flushKey(p, key); err != nil {
@@ -622,7 +653,14 @@ func (c *Cache) flushKey(p *sim.Proc, key string) error {
 			if derr != nil {
 				return fmt.Errorf("stored %q: %w", storeKey, derr)
 			}
-			c.reweigh(e.merge(stored))
+			// Equal digests mean the stored state is byte-identical to the
+			// local join — merging it back in would be an identity, so the
+			// re-marshal is skipped (the write stamp still converges).
+			if stored.hash != e.hash || stored.kind != e.kind {
+				c.reweigh(e.merge(stored))
+			} else if stored.lastWrite > e.lastWrite {
+				e.lastWrite = stored.lastWrite
+			}
 			version = it.Version
 		case errors.Is(err, kvstore.ErrNotFound):
 			version = 0
