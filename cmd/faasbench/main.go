@@ -6,7 +6,13 @@
 //
 //	faasbench -list
 //	faasbench -run table1
-//	faasbench -run all [-seed 42]
+//	faasbench -run all [-seed 42] [-workers 8]
+//
+// Multi-point experiments fan their sweep points across -workers
+// concurrent simulator kernels (default GOMAXPROCS; the SWEEP_WORKERS
+// environment variable also overrides). Output is byte-identical at any
+// worker count — each point derives its randomness from (seed, point)
+// alone and results merge in point order.
 package main
 
 import (
@@ -16,13 +22,17 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sweep"
 )
 
 func main() {
 	runID := flag.String("run", "all", "experiment id to run, or 'all'")
 	seed := flag.Uint64("seed", 1, "deterministic simulation seed")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	workers := flag.Int("workers", 0,
+		"concurrent sweep workers (0 = GOMAXPROCS or $SWEEP_WORKERS)")
 	flag.Parse()
+	sweep.SetWorkers(*workers)
 
 	if *list {
 		for _, e := range core.Experiments() {

@@ -7,6 +7,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simrand"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // measureInvoke returns the mean invocation latency of a no-op 1KB call
@@ -52,18 +53,32 @@ func measureInvoke(seed uint64, cfg Config, trials int, forceCold bool) time.Dur
 // because Table 1's number is dominated by invocation overhead, not
 // sandbox startup.
 func RunFirecracker(seed uint64) []*Table {
-	classic := DefaultConfig()
-	fire := DefaultConfig()
-	fire.Lambda.ColdStart = simrand.Const(FirecrackerColdStart)
-
 	t := &Table{
 		Title:  "Ablation (footnote 5): Firecracker 125ms microVM startup",
 		Header: []string{"Scenario", "Classic cold start", "Firecracker", "Change"},
 	}
-	warmClassic := measureInvoke(seed, classic, 300, false)
-	warmFire := measureInvoke(seed, fire, 300, false)
-	coldClassic := measureInvoke(seed+1, classic, 100, true)
-	coldFire := measureInvoke(seed+1, fire, 100, true)
+	// The four measurement cells (warm/cold × classic/Firecracker) are
+	// independent repetitions keyed by their own seeds; each point builds
+	// its config locally so concurrent clouds share nothing.
+	type invokePoint struct {
+		fire, cold bool
+		seed       uint64
+		trials     int
+	}
+	points := []invokePoint{
+		{false, false, seed, 300},
+		{true, false, seed, 300},
+		{false, true, seed + 1, 100},
+		{true, true, seed + 1, 100},
+	}
+	res := sweep.Map(points, func(_ int, pt invokePoint) time.Duration {
+		cfg := DefaultConfig()
+		if pt.fire {
+			cfg.Lambda.ColdStart = simrand.Const(FirecrackerColdStart)
+		}
+		return measureInvoke(pt.seed, cfg, pt.trials, pt.cold)
+	})
+	warmClassic, warmFire, coldClassic, coldFire := res[0], res[1], res[2], res[3]
 	t.AddRow("Warm invoke (Table 1 conditions)", FmtDur(warmClassic), FmtDur(warmFire),
 		FmtRatio(float64(warmClassic)/float64(warmFire)))
 	t.AddRow("Cold invoke (every call cold)", FmtDur(coldClassic), FmtDur(coldFire),

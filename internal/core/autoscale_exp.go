@@ -9,6 +9,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // RunAutoscale quantifies §1.2's "one step forward": under workload-driven
@@ -32,11 +33,23 @@ func RunAutoscale(seed uint64) []*Table {
 		Title:  "§1.2 Autoscaling under open-loop load (50ms CPU-bound requests)",
 		Header: []string{"Offered load", "Lambda p50", "Lambda p99", "Fixed EC2 p50", "Fixed EC2 p99"},
 	}
+	// The 3 rates × 2 platforms make six independent seed-repetition
+	// simulations; even-numbered points run the Lambda side, odd the EC2
+	// side, preserving the original per-point seeds exactly.
+	type quantiles struct{ p50, p99 time.Duration }
+	points := sweep.Points(2*len(rates), func(i int) quantiles {
+		rate := rates[i/2]
+		if i%2 == 0 {
+			p50, p99 := autoscaleLambda(seed+uint64(i/2), rate, window)
+			return quantiles{p50, p99}
+		}
+		p50, p99 := autoscaleEC2(seed+uint64(i/2)+100, rate, window)
+		return quantiles{p50, p99}
+	})
 	for i, rate := range rates {
-		lp50, lp99 := autoscaleLambda(seed+uint64(i), rate, window)
-		ep50, ep99 := autoscaleEC2(seed+uint64(i)+100, rate, window)
+		l, e := points[2*i], points[2*i+1]
 		t.AddRow(fmt.Sprintf("%.0f req/s", rate),
-			FmtDur(lp50), FmtDur(lp99), FmtDur(ep50), FmtDur(ep99))
+			FmtDur(l.p50), FmtDur(l.p99), FmtDur(e.p50), FmtDur(e.p99))
 	}
 	t.AddNote("fixed fleet capacity is ~40 req/s (2 cores / 50ms); above it the queue diverges")
 	t.AddNote("Lambda's flat latency is the paper's 'step forward'; its height is the overhead E1 measures")

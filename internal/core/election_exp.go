@@ -6,8 +6,10 @@ import (
 
 	"repro/internal/election"
 	"repro/internal/netsim"
+	"repro/internal/pricing"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // bbCluster is a blackboard election cluster riding on a Cloud.
@@ -112,20 +114,38 @@ func steadyStateUnitsPerCycle(seed uint64, n int, window time.Duration) (readUni
 // the share of a 15-minute Lambda lifetime that consumes (paper: 1.9%), and
 // the storage bill for a 1,000-node cluster (paper: at least $450/hr).
 func RunElection(seed uint64) []*Table {
-	// Latency: a 10-node cluster, four leader crashes.
-	c := NewCloud(seed)
-	cl := newBBCluster(c, 10, election.PaperParams())
-	rounds := cl.measureRounds(4)
-	c.Close()
+	// The latency cluster and the two cost clusters are independent
+	// simulations with their own seeds, so they sweep concurrently:
+	// point 0 crashes leaders on a 10-node cluster, points 1 and 2
+	// measure steady-state read units at 10 and 100 nodes. Simulating
+	// 1,000 full pollers for an hour would be wasteful; the two measured
+	// sizes pin the linear scan law the meter validates.
+	type electionPoint struct {
+		rounds      *stats.Recorder
+		catalog     *pricing.Catalog
+		read, write float64
+	}
+	pts := sweep.Points(3, func(i int) electionPoint {
+		switch i {
+		case 0:
+			// Latency: a 10-node cluster, four leader crashes.
+			c := NewCloud(seed)
+			defer c.Close()
+			cl := newBBCluster(c, 10, election.PaperParams())
+			return electionPoint{rounds: cl.measureRounds(4), catalog: c.Catalog}
+		case 1:
+			r, w := steadyStateUnitsPerCycle(seed+1, 10, 30*time.Second)
+			return electionPoint{read: r, write: w}
+		default:
+			r, w := steadyStateUnitsPerCycle(seed+2, 100, 15*time.Second)
+			return electionPoint{read: r, write: w}
+		}
+	})
+	rounds, catalog := pts[0].rounds, pts[0].catalog
 	round := rounds.Mean()
 	share := round.Seconds() / LambdaLifetime.Seconds() * 100
-
-	// Cost: measure per-cycle read units at two cluster sizes, then apply
-	// the measured linear scan law at 1,000 nodes (simulating 1,000 full
-	// pollers for an hour is wasteful; the units-per-cycle relation is
-	// what the meter validates).
-	r10, w10 := steadyStateUnitsPerCycle(seed+1, 10, 30*time.Second)
-	r100, w100 := steadyStateUnitsPerCycle(seed+2, 100, 15*time.Second)
+	r10, w10 := pts[1].read, pts[1].write
+	r100, w100 := pts[2].read, pts[2].write
 	perCycleAt := func(n float64) float64 {
 		// One board scan of n records (measured slope) plus one
 		// coordinator read.
@@ -153,7 +173,7 @@ func RunElection(seed uint64) []*Table {
 	t.AddNote("read units per node-cycle: %.1f at 10 nodes, %.1f at 100 nodes (board scan + coordinator read)",
 		r10, r100)
 	t.AddNote("1,000-node figure applies the measured linear scan law; ~500B records make one scan ~123 units")
-	provisioned := c.Catalog.DynamoProvisionedHourly(1000*4*perCycleAt(1000), 1000*((w10+w100)/2))
+	provisioned := catalog.DynamoProvisionedHourly(1000*4*perCycleAt(1000), 1000*((w10+w100)/2))
 	t.AddNote("provisioned-capacity alternative (2018's default mode, planned to peak): $%.0f/hr —", float64(provisioned))
 	t.AddNote("cheaper than on-demand but still far beyond the marginal cost of direct messaging")
 	return []*Table{t}
@@ -168,7 +188,14 @@ func RunElectionSweep(seed uint64) []*Table {
 		Header: []string{"Polling rate", "Round latency", "Read units/s per node", "Est. $/hr at 1,000 nodes"},
 	}
 	base := election.PaperParams()
-	for _, hz := range []int{1, 2, 4, 8} {
+	// Each polling rate is an independent cluster seeded by (seed, hz);
+	// the sweep engine runs the four rates concurrently.
+	type sweepResult struct {
+		round       time.Duration
+		unitsPerSec float64
+	}
+	rates := []int{1, 2, 4, 8}
+	results := sweep.Map(rates, func(_ int, hz int) sweepResult {
 		poll := time.Second / time.Duration(hz)
 		scale := float64(poll) / float64(base.PollInterval)
 		params := election.Params{
@@ -179,19 +206,23 @@ func RunElectionSweep(seed uint64) []*Table {
 			CoordWait:       time.Duration(float64(base.CoordWait) * scale),
 		}
 		c := NewCloud(seed + uint64(hz))
+		defer c.Close()
 		cl := newBBCluster(c, 6, params)
 		rec := cl.measureRounds(2)
 
 		// Steady-state read-unit rate at this polling frequency.
 		c.Meter.Reset()
 		c.K.RunUntil(c.K.Now() + sim.Time(30*time.Second))
-		unitsPerSec := float64(c.Meter.Count("dynamodb.read")) / 30 / 6
-		c.Close()
-
+		return sweepResult{
+			round:       rec.Mean(),
+			unitsPerSec: float64(c.Meter.Count("dynamodb.read")) / 30 / 6,
+		}
+	})
+	for i, hz := range rates {
 		// Extrapolate the 1,000-node scan (123 units) at this rate.
 		cost1000 := 1000.0 * float64(hz) * 3600 * 124 * 0.25 / 1e6
-		t.AddRow(fmt.Sprintf("%d Hz", hz), FmtDur(rec.Mean()),
-			fmt.Sprintf("%.1f", unitsPerSec), fmt.Sprintf("$%.0f", cost1000))
+		t.AddRow(fmt.Sprintf("%d Hz", hz), FmtDur(results[i].round),
+			fmt.Sprintf("%.1f", results[i].unitsPerSec), fmt.Sprintf("$%.0f", cost1000))
 	}
 	t.AddNote("with timeouts scaled to the polling period, round latency shrinks ~linearly with the rate")
 	t.AddNote("but the storage bill grows linearly too: convergence speed is bought with dollars, not design")

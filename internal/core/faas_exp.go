@@ -24,6 +24,7 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 const (
@@ -196,8 +197,13 @@ func RunFaaSScale(seed uint64) []*Table {
 		Header: []string{"Provisioned", "Done req/s", "p50", "p99",
 			"Cold starts", "Peak conc", "$/hr"},
 	}
-	for _, prov := range []int{0, 8, 32, -1} {
-		r := runFaaSScale(seed, prov)
+	// Every provisioned-concurrency level simulates an independent cloud
+	// from (seed, prov); the sweep engine runs them concurrently and hands
+	// back results in sweep order.
+	results := sweep.Map([]int{0, 8, 32, -1}, func(_ int, prov int) faasScaleResult {
+		return runFaaSScale(seed, prov)
+	})
+	for _, r := range results {
 		label := r.provisioned
 		if label == faasScaleAutoLabel {
 			label = fmt.Sprintf("auto (->%d)", r.scaleTarget)

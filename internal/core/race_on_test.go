@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; the
+// worker-count invariance sweep trims its slowest family under -race.
+const raceEnabled = true

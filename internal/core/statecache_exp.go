@@ -36,6 +36,7 @@ import (
 	"repro/internal/simrand"
 	"repro/internal/statecache"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 const (
@@ -232,9 +233,15 @@ func RunStateCache(seed uint64) []*Table {
 		{4, 50 * time.Millisecond, true},
 		{4, time.Second, true},
 	}
+	// The replicas × gossip grid points are independent simulations keyed
+	// by (seed, point parameters); the sweep engine farms them across
+	// cores and commits results in point order.
+	results := sweep.Map(points, func(_ int, pt point) stateCacheResult {
+		return runStateCache(seed, pt.workers, pt.interval, pt.cached)
+	})
 	var uncachedP99, cachedP99 time.Duration
-	for _, pt := range points {
-		r := runStateCache(seed, pt.workers, pt.interval, pt.cached)
+	for i, pt := range points {
+		r := results[i]
 		gossip, stale := "—", "—"
 		if pt.cached {
 			gossip = FmtDur(r.interval)

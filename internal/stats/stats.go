@@ -55,6 +55,18 @@ func (r *Recorder) Add(d time.Duration) {
 	r.sumExact += d
 }
 
+// Reset empties the recorder while retaining the backing samples slice,
+// so a sweep worker can reuse one recorder across points (one recorder
+// per point otherwise re-grows the samples array from scratch each time).
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+	r.sum = 0
+	r.wmean = 0
+	r.m2 = 0
+	r.sumExact = 0
+}
+
 // Count returns the number of samples.
 func (r *Recorder) Count() int { return len(r.samples) }
 

@@ -157,3 +157,44 @@ func TestStddevLargeMagnitudeSmallSpread(t *testing.T) {
 		t.Errorf("Stddev = %v, want ~816µs (catastrophic cancellation?)", got)
 	}
 }
+
+// TestResetKeepsCapacity mirrors the sim ring capacity-reuse tests: Reset
+// must empty the recorder (all accessors back to zero-state), keep the
+// backing samples array so the next point's Adds don't reallocate, and
+// leave subsequent statistics identical to a fresh recorder's.
+func TestResetKeepsCapacity(t *testing.T) {
+	r := NewRecorder("reuse")
+	for i := 0; i < 1000; i++ {
+		r.Add(time.Duration(i+1) * time.Millisecond)
+	}
+	_ = r.Percentile(99) // force the sorted state Reset must clear
+	backing := &r.samples[0]
+	grown := cap(r.samples)
+
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 || r.Min() != 0 || r.Max() != 0 ||
+		r.Median() != 0 || r.Stddev() != 0 || r.Sum() != 0 {
+		t.Error("Reset recorder should return zeros everywhere")
+	}
+	if cap(r.samples) != grown {
+		t.Fatalf("Reset shrank capacity: %d -> %d", grown, cap(r.samples))
+	}
+	if r.Name() != "reuse" {
+		t.Errorf("Reset lost the name: %q", r.Name())
+	}
+
+	fresh := NewRecorder("fresh")
+	for i := 0; i < 100; i++ {
+		d := time.Duration((i*2654435761)%977) * time.Millisecond
+		r.Add(d)
+		fresh.Add(d)
+	}
+	if &r.samples[0] != backing {
+		t.Error("refilling after Reset reallocated the samples array")
+	}
+	if r.Mean() != fresh.Mean() || r.Median() != fresh.Median() ||
+		r.Percentile(99) != fresh.Percentile(99) || r.Stddev() != fresh.Stddev() ||
+		r.Sum() != fresh.Sum() || r.Min() != fresh.Min() || r.Max() != fresh.Max() {
+		t.Errorf("reused recorder diverged from fresh: %v vs %v", r, fresh)
+	}
+}
