@@ -9,6 +9,7 @@ package repro
 
 import (
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -254,6 +255,36 @@ func BenchmarkFaaSScale(b *testing.B) {
 	b.ReportMetric(asMillis(b, headline(b, tables, "0", 3)), "p99-prov0-ms")
 	b.ReportMetric(asMillis(b, headline(b, tables, "32", 3)), "p99-prov32-ms")
 	b.ReportMetric(asDollars(b, headline(b, tables, "auto", 6)), "auto-usd-hr")
+}
+
+// BenchmarkMillionUserKV runs the million-user scenario (the ROADMAP's
+// top open item): 10⁶ simulated clients at 100k req/s aggregate through
+// the aggregated load population, sweeping 16/32/64 shards, with
+// latencies held in fixed-memory sketches. Reported: completed throughput
+// at the sweep's ends, the 64-shard sketched tails, the hourly bill, and
+// the process's peak heap — the number the fixed-memory refactor exists
+// to keep flat.
+func BenchmarkMillionUserKV(b *testing.B) {
+	var tables []*core.Table
+	for i := 0; i < b.N; i++ {
+		tables = core.RunMillionUser(1)
+	}
+	rps := func(shardRow string) float64 {
+		v, err := strconv.ParseFloat(headline(b, tables, shardRow, 1), 64)
+		if err != nil {
+			b.Fatalf("cannot parse throughput for %s shards", shardRow)
+		}
+		return v
+	}
+	b.ReportMetric(rps("16"), "shard16-rps")
+	b.ReportMetric(rps("64"), "shard64-rps")
+	b.ReportMetric(asMillis(b, headline(b, tables, "64", 2)), "shard64-p50-ms")
+	b.ReportMetric(asMillis(b, headline(b, tables, "64", 3)), "shard64-p99-ms")
+	b.ReportMetric(asMillis(b, headline(b, tables, "64", 4)), "shard64-p999-ms")
+	b.ReportMetric(asDollars(b, headline(b, tables, "64", 6)), "usd-hr")
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.ReportMetric(float64(ms.HeapSys)/(1<<20), "peak-heap-mb")
 }
 
 // BenchmarkStateCacheScale runs the function-colocated state-cache

@@ -7,12 +7,21 @@
 //	faasbench -list
 //	faasbench -run table1
 //	faasbench -run all [-seed 42] [-workers 8]
+//	faasbench -run millionuser [-users 1000000]
+//	faasbench -run regionscale -sketch -population
 //
 // Multi-point experiments fan their sweep points across -workers
 // concurrent simulator kernels (default GOMAXPROCS; the SWEEP_WORKERS
 // environment variable also overrides). Output is byte-identical at any
 // worker count — each point derives its randomness from (seed, point)
 // alone and results merge in point order.
+//
+// -sketch swaps every experiment's exact latency recorder for a
+// fixed-memory quantile sketch (≤1% percentile error; mean, extremes, and
+// counts stay exact), and -population swaps per-arrival load generation
+// for one aggregated Poisson client population (-users sizes it). Both
+// default off, so default output is byte-identical to earlier releases;
+// the millionuser experiment always uses both.
 package main
 
 import (
@@ -31,8 +40,17 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", 0,
 		"concurrent sweep workers (0 = GOMAXPROCS or $SWEEP_WORKERS)")
+	sketch := flag.Bool("sketch", false,
+		"record latencies in fixed-memory sketches (≤1% percentile error) instead of exact recorders")
+	population := flag.Bool("population", false,
+		"drive Poisson load from one aggregated client population instead of one process per arrival")
+	users := flag.Int("users", 0,
+		"override the simulated client-population size (0 = each experiment's default)")
 	flag.Parse()
 	sweep.SetWorkers(*workers)
+	core.SetSketchStats(*sketch)
+	core.SetPopulationLoad(*population)
+	core.SetUsers(*users)
 
 	if *list {
 		for _, e := range core.Experiments() {

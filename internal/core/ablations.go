@@ -6,7 +6,6 @@ import (
 	"repro/internal/faas"
 	"repro/internal/sim"
 	"repro/internal/simrand"
-	"repro/internal/stats"
 	"repro/internal/sweep"
 )
 
@@ -24,7 +23,7 @@ func measureInvoke(seed uint64, cfg Config, trials int, forceCold bool) time.Dur
 	}); err != nil {
 		panic(err)
 	}
-	rec := stats.NewRecorder("invoke")
+	rec := newSummary("invoke")
 	done := false
 	c.K.Spawn("driver", func(p *sim.Proc) {
 		payload := make([]byte, 1024)

@@ -8,7 +8,6 @@ import (
 	"repro/internal/faas"
 	"repro/internal/loadgen"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/sweep"
 )
 
@@ -75,7 +74,7 @@ func autoscaleLambda(seed uint64, rate float64, window time.Duration) (p50, p99 
 	}); err != nil {
 		panic(err)
 	}
-	rec := stats.NewRecorder("lambda")
+	rec := newSummary("lambda")
 	gen := loadgen.New(c.RNG.Fork(), loadgen.Poisson{Rate: rate})
 	completed := 0
 	gen.Run(c.K, window, func(p *sim.Proc, _ int) {
@@ -96,7 +95,7 @@ func autoscaleLambda(seed uint64, rate float64, window time.Duration) (p50, p99 
 func autoscaleEC2(seed uint64, rate float64, window time.Duration) (p50, p99 time.Duration) {
 	c := NewCloud(seed)
 	defer c.Close()
-	rec := stats.NewRecorder("ec2")
+	rec := newSummary("ec2")
 
 	type req struct {
 		start sim.Time

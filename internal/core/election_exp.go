@@ -64,8 +64,8 @@ func (cl *bbCluster) nodeByID(id int) *election.Node {
 // measureRounds crashes the current leader `rounds` times, measuring crash-
 // to-agreement latency; each deposed leader stays down (bully order walks
 // down the id space).
-func (cl *bbCluster) measureRounds(rounds int) *stats.Recorder {
-	rec := stats.NewRecorder("round")
+func (cl *bbCluster) measureRounds(rounds int) stats.Summary {
+	rec := newSummary("round")
 	k := cl.c.K
 	if !runKernelUntil(k, k.Now()+sim.Time(5*time.Minute), sim.Time(250*time.Millisecond),
 		func() bool { return cl.agreed() > 0 }) {
@@ -121,7 +121,7 @@ func RunElection(seed uint64) []*Table {
 	// 1,000 full pollers for an hour would be wasteful; the two measured
 	// sizes pin the linear scan law the meter validates.
 	type electionPoint struct {
-		rounds      *stats.Recorder
+		rounds      stats.Summary
 		catalog     *pricing.Catalog
 		read, write float64
 	}

@@ -23,7 +23,6 @@ import (
 	"repro/internal/faas"
 	"repro/internal/loadgen"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/sweep"
 )
 
@@ -87,7 +86,7 @@ func runFaaSScale(seed uint64, provisioned int) faasScaleResult {
 
 	client := c.ClientNode("faasscale-client")
 	inQ := c.SQS.CreateQueue("faasscale-in", 2*time.Minute)
-	rec := stats.NewRecorder("faasscale")
+	rec := newSummary("faasscale")
 	value := make([]byte, faasScaleValueBytes)
 	completed := 0
 	seen := make(map[int]bool) // SQS is at-least-once; count each Seq once

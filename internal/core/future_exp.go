@@ -10,7 +10,6 @@ import (
 	"repro/internal/pricing"
 	"repro/internal/reviews"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // RunFuture re-runs the three case studies on the §4 prototype platform
@@ -84,7 +83,7 @@ func futureServing(seed uint64) time.Duration {
 	c := NewCloud(seed)
 	defer c.Close()
 	pf := future.New(c.Net, c.Mesh, c.RNG.Fork(), future.DefaultConfig(), c.Catalog, c.Meter)
-	rec := stats.NewRecorder("batch")
+	rec := newSummary("batch")
 	done := false
 	c.K.Spawn("driver", func(p *sim.Proc) {
 		server := pf.SpawnAgent(p, "classifier", 1024, nil)

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Experiment-wide switches for the million-user machinery. They default
+// off, so the exact recorder and per-arrival load generator remain the
+// reference path and seed-1 goldens stay byte-identical; cmd/faasbench
+// exposes them as -sketch / -population / -users. Atomics because sweep
+// workers read them concurrently; they are set once before Run, never
+// mid-experiment.
+var (
+	optSketch     atomic.Bool
+	optPopulation atomic.Bool
+	optUsers      atomic.Int64
+)
+
+// SetSketchStats switches experiment summaries between the exact Recorder
+// (default) and the fixed-memory Sketch.
+func SetSketchStats(on bool) { optSketch.Store(on) }
+
+// SetPopulationLoad switches load generation between one process per
+// arrival (default) and the aggregated client-population mode.
+func SetPopulationLoad(on bool) { optPopulation.Store(on) }
+
+// SetUsers overrides the simulated client-population size for experiments
+// that scale by user count (0 restores each experiment's default).
+func SetUsers(n int) { optUsers.Store(int64(n)) }
+
+// newSummary builds the latency summary every experiment records into,
+// honoring the -sketch switch.
+func newSummary(name string) stats.Summary {
+	return stats.NewSummary(name, optSketch.Load())
+}
+
+func sketchStats() bool    { return optSketch.Load() }
+func populationLoad() bool { return optPopulation.Load() }
+
+// configuredUsers returns the -users override, or def when unset.
+func configuredUsers(def int) int {
+	if n := optUsers.Load(); n > 0 {
+		return int(n)
+	}
+	return def
+}

@@ -20,7 +20,6 @@ import (
 	"repro/internal/loadgen"
 	"repro/internal/netsim"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/sweep"
 )
 
@@ -78,14 +77,10 @@ func runRegionScale(seed uint64, shards int) regionResult {
 		clients[i] = c.ClientNode(fmt.Sprintf("region-client-%d", i))
 	}
 
-	rec := stats.NewRecorder("region-kv")
+	rec := newSummary("region-kv")
 	completed := 0
 	value := make([]byte, regionValueBytes)
-	gen := loadgen.New(c.RNG.Fork(), loadgen.Poisson{Rate: regionOfferedRate})
-	gen.Run(c.K, regionWindow, func(p *sim.Proc, seq int) {
-		// Knuth-hash the sequence number into the key space so the key
-		// choice is deterministic and spread across shards.
-		key := regionKey(uint64(seq) * 2654435761 % regionKeySpace)
+	request := func(p *sim.Proc, seq int, key string) {
 		node := clients[seq%len(clients)]
 		start := p.Now()
 		if seq%2 == 0 {
@@ -99,7 +94,25 @@ func runRegionScale(seed uint64, shards int) regionResult {
 		}
 		rec.Add(time.Duration(p.Now() - start))
 		completed++
-	})
+	}
+	if populationLoad() {
+		// Aggregated mode: the same offered rate as the fluid sum of one
+		// Poisson source per user, each touching its own record; the
+		// thinned client identity replaces the sequence-hash key choice.
+		users := configuredUsers(regionKeySpace)
+		pop := loadgen.NewPopulation(c.RNG.Fork(), c.RNG.Fork(),
+			users, regionOfferedRate/float64(users))
+		pop.Run(c.K, regionWindow, func(p *sim.Proc, seq, client int) {
+			request(p, seq, regionKey(uint64(client)%regionKeySpace))
+		})
+	} else {
+		gen := loadgen.New(c.RNG.Fork(), loadgen.Poisson{Rate: regionOfferedRate})
+		gen.Run(c.K, regionWindow, func(p *sim.Proc, seq int) {
+			// Knuth-hash the sequence number into the key space so the key
+			// choice is deterministic and spread across shards.
+			request(p, seq, regionKey(uint64(seq)*2654435761%regionKeySpace))
+		})
+	}
 	c.K.RunUntil(sim.Time(regionWindow))
 
 	served := int64(0)

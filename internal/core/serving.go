@@ -11,7 +11,6 @@ import (
 	"repro/internal/msgnet"
 	"repro/internal/queue"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/wordfilter"
 )
 
@@ -79,7 +78,7 @@ func runServingLambda(seed uint64, fetchModel bool) time.Duration {
 	client := c.ClientNode("client")
 	inQ := c.SQS.CreateQueue("serve-in", 2*time.Minute)
 	outQ := c.SQS.CreateQueue("serve-out", 2*time.Minute)
-	rec := stats.NewRecorder("batch")
+	rec := newSummary("batch")
 	completion := make(map[int]*sim.Latch)
 	compiled := wordfilter.DefaultModel()
 
@@ -167,7 +166,7 @@ func runServingEC2SQS(seed uint64) time.Duration {
 	client := c.ClientNode("client")
 	inQ := c.SQS.CreateQueue("serve-in", 2*time.Minute)
 	outQ := c.SQS.CreateQueue("serve-out", 2*time.Minute)
-	rec := stats.NewRecorder("batch")
+	rec := newSummary("batch")
 	completion := make(map[int]*sim.Latch)
 	model := wordfilter.DefaultModel()
 
@@ -231,7 +230,7 @@ func runServingEC2SQS(seed uint64) time.Duration {
 func runServingEC2ZMQ(seed uint64) time.Duration {
 	c := NewCloud(seed)
 	defer c.Close()
-	rec := stats.NewRecorder("batch")
+	rec := newSummary("batch")
 	model := wordfilter.DefaultModel()
 
 	done := false

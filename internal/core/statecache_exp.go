@@ -35,7 +35,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simrand"
 	"repro/internal/statecache"
-	"repro/internal/stats"
 	"repro/internal/sweep"
 )
 
@@ -113,11 +112,12 @@ func runStateCache(seed uint64, workers int, interval time.Duration, cached bool
 		sc := statecache.DefaultConfig()
 		sc.GossipInterval = interval
 		sc.FlushInterval = stateCacheFlushEvery
+		sc.SketchStaleness = sketchStats()
 		cl = statecache.New("cache", c.Net, c.DDB, c.RNG.Fork(), sc, c.Catalog, c.Meter)
 		c.Lambda.AttachStateCache(cl)
 	}
 
-	rec := stats.NewRecorder("statecache-read")
+	rec := newSummary("statecache-read")
 	ops := 0
 	end := sim.Time(stateCacheWindow)
 	handler := func(ctx *faas.Ctx, payload []byte) ([]byte, error) {

@@ -7,7 +7,6 @@ import (
 	"repro/internal/faas"
 	"repro/internal/msgnet"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // runKernelUntil advances the kernel in steps until cond holds or horizon
@@ -31,12 +30,12 @@ func RunTable1(seed uint64) []*Table {
 	c := NewCloud(seed)
 	defer c.Close()
 
-	recInvoke := stats.NewRecorder("invoke")
-	recLambdaS3 := stats.NewRecorder("lambda-s3")
-	recLambdaDDB := stats.NewRecorder("lambda-ddb")
-	recEC2S3 := stats.NewRecorder("ec2-s3")
-	recEC2DDB := stats.NewRecorder("ec2-ddb")
-	recZMQ := stats.NewRecorder("ec2-zmq")
+	recInvoke := newSummary("invoke")
+	recLambdaS3 := newSummary("lambda-s3")
+	recLambdaDDB := newSummary("lambda-ddb")
+	recEC2S3 := newSummary("ec2-s3")
+	recEC2DDB := newSummary("ec2-ddb")
+	recZMQ := newSummary("ec2-zmq")
 
 	payload := make([]byte, 1024)
 

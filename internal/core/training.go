@@ -11,7 +11,6 @@ import (
 	"repro/internal/pricing"
 	"repro/internal/reviews"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // trainState is the paper's chained-execution baton: where in the 9,000
@@ -106,9 +105,9 @@ func runLambdaTraining(seed uint64, totalIters int) trainingResult {
 	c := NewCloud(seed)
 	defer c.Close()
 
-	fetch := stats.NewRecorder("fetch")
-	optim := stats.NewRecorder("optimize")
-	iters := stats.NewRecorder("iter")
+	fetch := newSummary("fetch")
+	optim := newSummary("optimize")
+	iters := newSummary("iter")
 	pt := newProxyTrainer(seed)
 	res := trainingResult{lossBefore: pt.holdoutLoss()}
 
@@ -192,9 +191,9 @@ func runEC2Training(seed uint64, totalIters int) trainingResult {
 	c := NewCloud(seed)
 	defer c.Close()
 
-	fetch := stats.NewRecorder("fetch")
-	optim := stats.NewRecorder("optimize")
-	iters := stats.NewRecorder("iter")
+	fetch := newSummary("fetch")
+	optim := newSummary("optimize")
+	iters := newSummary("iter")
 	pt := newProxyTrainer(seed)
 	res := trainingResult{lossBefore: pt.holdoutLoss(), executions: 1}
 

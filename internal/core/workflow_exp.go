@@ -7,7 +7,6 @@ import (
 	"repro/internal/compute"
 	"repro/internal/faas"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/workflow"
 )
 
@@ -53,7 +52,7 @@ func RunWorkflow(seed uint64) []*Table {
 	if err := pl.Deploy(c.K); err != nil {
 		panic(err)
 	}
-	rec := stats.NewRecorder("pipeline")
+	rec := newSummary("pipeline")
 	client := c.ClientNode("client")
 	done := false
 	c.K.Spawn("driver", func(p *sim.Proc) {
@@ -77,7 +76,7 @@ func RunWorkflow(seed uint64) []*Table {
 	// Monolith baseline: the same eight steps in one process with local
 	// state on the instance volume.
 	c2 := NewCloud(seed + 1)
-	mono := stats.NewRecorder("monolith")
+	mono := newSummary("monolith")
 	done2 := false
 	c2.K.Spawn("driver", func(p *sim.Proc) {
 		inst := c2.EC2.Launch(p, compute.M5Large, ClientRack)

@@ -61,6 +61,11 @@ func (b *Burst) Next(rng *simrand.RNG) time.Duration {
 	if b.OnFor <= 0 {
 		panic("loadgen: Burst needs a positive on-window")
 	}
+	if b.OffFor < 0 {
+		// A negative off-window would subtract time once per crossed
+		// on-window, silently corrupting the cycle arithmetic.
+		panic("loadgen: Burst needs a non-negative off-window")
+	}
 	gap := b.On.Next(rng)
 	b.elapsed += gap
 	var off time.Duration

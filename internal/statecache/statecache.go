@@ -57,6 +57,11 @@ type Config struct {
 	// FlushRetries bounds the read-merge-write loop a flush runs when
 	// ConditionalPut keeps losing to concurrent flushers.
 	FlushRetries int
+
+	// SketchStaleness records staleness into a fixed-memory stats.Sketch
+	// instead of the exact recorder — million-user clusters gossip enough
+	// merges that full sample retention dominates memory.
+	SketchStaleness bool
 }
 
 // DefaultConfig returns the calibrated configuration.
@@ -116,7 +121,7 @@ type Cluster struct {
 	// the hook says so for both orders).
 	partition func(from, to *netsim.Node) bool
 
-	staleness *stats.Recorder
+	staleness stats.Summary
 
 	// GB-second billing accrual, mirroring faas provisioned concurrency:
 	// bytes is the resident lattice state across replicas, accrued into
@@ -154,7 +159,7 @@ func New(name string, net *netsim.Network, store *kvstore.Store, rng *simrand.RN
 		catalog:   catalog,
 		meter:     meter,
 		byNode:    make(map[*netsim.Node]*Cache),
-		staleness: stats.NewRecorder(name + "/staleness"),
+		staleness: stats.NewSummary(name+"/staleness", cfg.SketchStaleness),
 	}
 }
 
@@ -243,11 +248,12 @@ func (cl *Cluster) Replicas() int { return len(cl.replicas) }
 // fn(from, to) reports true. Passing nil heals the network.
 func (cl *Cluster) Partition(fn func(from, to *netsim.Node) bool) { cl.partition = fn }
 
-// Staleness returns the recorder of anti-entropy propagation delays: one
+// Staleness returns the summary of anti-entropy propagation delays: one
 // sample per gossip merge that changed a replica's state, measuring the
 // time from the originating write to its visibility on the merging
-// replica. Its percentiles are the cache's staleness window.
-func (cl *Cluster) Staleness() *stats.Recorder { return cl.staleness }
+// replica. Its percentiles are the cache's staleness window (exact by
+// default; bounded-error when Config.SketchStaleness is set).
+func (cl *Cluster) Staleness() stats.Summary { return cl.staleness }
 
 // CachedBytes reports the resident lattice state across all replicas.
 func (cl *Cluster) CachedBytes() int64 { return cl.bytes }

@@ -1,6 +1,13 @@
-// Package stats provides the latency recorder used by every experiment to
-// summarize simulated measurements (mean, percentiles, min/max), mirroring
+// Package stats provides the latency summaries used by every experiment to
+// report simulated measurements (mean, percentiles, min/max), mirroring
 // how the paper reports averages over 1,000–10,000 trials.
+//
+// Two implementations of the Summary interface exist: Recorder keeps every
+// sample and computes exact percentiles (the default for calibrated
+// experiments and the reference for equivalence tests), and Sketch holds a
+// fixed-memory HDR-histogram-style log-linear bucketing whose percentiles
+// carry a configurable relative-error bound — the summary million-user
+// experiments use, where retaining every sample would dominate memory.
 package stats
 
 import (
@@ -10,30 +17,59 @@ import (
 	"time"
 )
 
+// Summary is the measurement-accumulation interface experiments consume:
+// anything that can absorb duration samples and report the distribution.
+// Count, Sum, Min, Max, Mean and Stddev are exact in both implementations;
+// Percentile (and Median) are exact on Recorder and bounded-relative-error
+// on Sketch. Reset empties the summary while retaining its backing storage
+// so sweep workers can reuse one summary across points.
+type Summary interface {
+	Name() string
+	Add(d time.Duration)
+	Count() int
+	Mean() time.Duration
+	Min() time.Duration
+	Max() time.Duration
+	Percentile(p float64) time.Duration
+	Median() time.Duration
+	Stddev() time.Duration
+	Sum() time.Duration
+	Reset()
+	String() string
+}
+
+// NewSummary returns the exact Recorder, or a default-error Sketch when
+// sketch is set — the switch experiments expose as a -sketch flag.
+func NewSummary(name string, sketch bool) Summary {
+	if sketch {
+		return NewSketch(name)
+	}
+	return NewRecorder(name)
+}
+
 // Recorder accumulates duration samples. The zero value is unusable; create
 // one with NewRecorder. Recorders keep every sample (experiments record at
-// most tens of thousands), so percentiles are exact. Add maintains running
-// sums, so Mean, Sum, and Stddev are O(1) instead of re-scanning all
-// samples per call.
+// most tens of thousands; larger runs use Sketch), so percentiles are
+// exact. Add maintains running sums, so Mean, Sum, and Stddev are O(1)
+// instead of re-scanning all samples per call.
 type Recorder struct {
 	name    string
 	samples []time.Duration
 	sorted  bool
-	// sum accumulates float64(sample) in Add order. The former per-call
-	// scan summed r.samples in its order at call time, which equals Add
-	// order as long as Mean is first read before any sorting accessor
-	// (Percentile/Median/Min/Max) — the pattern every experiment follows,
-	// and what keeps their printed means bit-identical. A first Mean read
-	// after a sort may differ in the last float bit.
-	sum float64
 	// wmean/m2 are Welford running moments for the O(1) population
 	// variance; the naive E[x²]−mean² form cancels catastrophically for
 	// large-magnitude, low-spread samples (hour-scale durations with
 	// millisecond spread), Welford does not.
 	wmean, m2 float64
-	// sumExact is the overflow-safe integer total backing Sum.
+	// sumExact is the overflow-safe integer total backing Sum — and, since
+	// integer addition is associative, the order-independent numerator
+	// backing Mean: a float64 running sum accumulated in Add order could
+	// differ in the final bit from any other summation order, which is the
+	// last-bit drift Mean used to document.
 	sumExact time.Duration
 }
+
+var _ Summary = (*Recorder)(nil)
 
 // NewRecorder returns an empty recorder labeled name.
 func NewRecorder(name string) *Recorder {
@@ -48,7 +84,6 @@ func (r *Recorder) Add(d time.Duration) {
 	r.samples = append(r.samples, d)
 	r.sorted = false
 	f := float64(d)
-	r.sum += f
 	delta := f - r.wmean
 	r.wmean += delta / float64(len(r.samples))
 	r.m2 += delta * (f - r.wmean)
@@ -61,7 +96,6 @@ func (r *Recorder) Add(d time.Duration) {
 func (r *Recorder) Reset() {
 	r.samples = r.samples[:0]
 	r.sorted = false
-	r.sum = 0
 	r.wmean = 0
 	r.m2 = 0
 	r.sumExact = 0
@@ -70,12 +104,21 @@ func (r *Recorder) Reset() {
 // Count returns the number of samples.
 func (r *Recorder) Count() int { return len(r.samples) }
 
-// Mean returns the arithmetic mean (0 with no samples).
+// Mean returns the arithmetic mean (0 with no samples). It derives from the
+// exact integer sum, so its value is independent of Add order and of
+// whether a sorting accessor (Percentile/Median/Min/Max) ran first.
 func (r *Recorder) Mean() time.Duration {
 	if len(r.samples) == 0 {
 		return 0
 	}
-	return time.Duration(r.sum / float64(len(r.samples)))
+	return meanOf(r.sumExact, len(r.samples))
+}
+
+// meanOf renders an exact integer sum over n samples the way the historical
+// float64 running-sum Mean did (float division, truncating conversion), so
+// summary formatting stays byte-stable across the exact and sketch paths.
+func meanOf(sum time.Duration, n int) time.Duration {
+	return time.Duration(float64(sum) / float64(n))
 }
 
 // Min returns the smallest sample (0 with no samples).
