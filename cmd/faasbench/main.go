@@ -19,9 +19,12 @@
 // -sketch swaps every experiment's exact latency recorder for a
 // fixed-memory quantile sketch (≤1% percentile error; mean, extremes, and
 // counts stay exact), and -population swaps per-arrival load generation
-// for one aggregated Poisson client population (-users sizes it). Both
+// for one aggregated Poisson client population (-users sizes it). -recon
+// swaps statecache gossip's per-key digest exchange for constant-size
+// invertible-Bloom-filter summaries (O(diff) bytes per round). All
 // default off, so default output is byte-identical to earlier releases;
-// the millionuser experiment always uses both.
+// the millionuser experiment always uses sketch+population, and the
+// millionkey experiment runs both gossip protocols side by side.
 package main
 
 import (
@@ -46,11 +49,14 @@ func main() {
 		"drive Poisson load from one aggregated client population instead of one process per arrival")
 	users := flag.Int("users", 0,
 		"override the simulated client-population size (0 = each experiment's default)")
+	recon := flag.Bool("recon", false,
+		"reconcile statecache gossip with constant-size IBF summaries instead of per-key digests")
 	flag.Parse()
 	sweep.SetWorkers(*workers)
 	core.SetSketchStats(*sketch)
 	core.SetPopulationLoad(*population)
 	core.SetUsers(*users)
+	core.SetReconGossip(*recon)
 
 	if *list {
 		for _, e := range core.Experiments() {

@@ -49,19 +49,21 @@ note: open-loop Poisson arrivals from 8 client hosts over 8s of virtual time; 50
 note: 25% consistent reads, 25% eventual reads across 100000 keys (FNV-1a hash routing)
 `,
 	"statecache": `§4 fluid state: function-colocated CRDT cache vs storage round trips
-Variant   Replicas  Gossip   Ops/s  Read p50  Read p99  Stale p99  State $/hr
--------------------------------------------------------------------------------
-uncached  4         —        419    5.4ms     6.8ms     —          $0.76/hr  
-cached    2         200.0ms  923    400ns     497ns     198.0ms    $0.37/hr  
-cached    4         200.0ms  1790   401ns     498ns     337.5ms    $0.72/hr  
-cached    8         200.0ms  3647   400ns     498ns     417.6ms    $1.49/hr  
-cached    4         50.0ms   1790   400ns     498ns     95.6ms     $0.73/hr  
-cached    4         1.00s    1790   400ns     498ns     1.25s      $0.72/hr  
+Variant   Replicas  Gossip   Ops/s  Read p50  Read p99  Stale p99  Gossip/rnd  State $/hr
+-------------------------------------------------------------------------------------------
+uncached  4         —        419    5.4ms     6.8ms     —          —           $0.76/hr  
+cached    2         200.0ms  923    400ns     497ns     198.0ms    6.7KB       $0.37/hr  
+cached    4         200.0ms  1790   401ns     498ns     337.5ms    10.4KB      $0.72/hr  
+cached    8         200.0ms  3647   400ns     498ns     417.6ms    20.5KB      $1.49/hr  
+cached    4         50.0ms   1790   400ns     498ns     95.6ms     5.1KB       $0.73/hr  
+cached    4         1.00s    1790   400ns     498ns     1.25s      14.6KB      $0.72/hr  
 note: read p99 6.8ms uncached vs 498ns cached at 4 replicas / 200ms gossip (13602x lower)
 note: identical op mix both variants: 80% reads / 20% counter deltas over 64 shared keys,
 note: 2.0ms mean think time per worker; uncached writes are blackboard read-merge-write pairs
 note: state $/hr = DynamoDB request units + cache GB-seconds + write-behind flushes (1.00s cadence);
-note: staleness = originating write -> gossip visibility on another replica (measured, p99)
+note: staleness = originating write -> gossip visibility on another replica (measured, p99);
+note: gossip/rnd = anti-entropy bytes per completed round, all three legs (-recon swaps the
+note: per-key digest leg for an IBF set-reconciliation summary; see the millionkey experiment)
 `}
 
 // TestCalibratedExperimentsMatchGoldenTraces replays each experiment at

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkMillionKeyGossip is the CI bench-smoke entry for the
+// reconciliation path: one digest and one IBF run at a scaled key count,
+// reporting the converged steady-state bytes/round each protocol pays.
+func BenchmarkMillionKeyGossip(b *testing.B) {
+	const keys = 65_536
+	for _, reconcile := range []bool{false, true} {
+		name := "digest"
+		if reconcile {
+			name = "ibf"
+		}
+		b.Run(fmt.Sprintf("protocol=%s", name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := runMillionKey(1, 8, keys, reconcile)
+				if r.rounds == 0 || r.steadyPer <= 0 {
+					b.Fatal("run produced no steady-state rounds")
+				}
+				b.ReportMetric(float64(r.steadyPer), "steadyB/round")
+			}
+		})
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import "testing"
+
+// millionKeyTestScale picks the scaled-down key count the test grid runs
+// at. The ≥100× steady-state ratio needs enough keys for the digest
+// baseline to dwarf the ~20KB IBF summary; under -race the runs shrink
+// further and the threshold relaxes accordingly.
+func millionKeyTestScale() (keys int, minRatio float64) {
+	if raceEnabled {
+		return 32_768, 20
+	}
+	return 131_072, 100
+}
+
+// TestMillionKeyScaled runs the experiment's two protocols at a reduced
+// key count and checks the acceptance story end to end: both converge
+// within the quiesce horizon, no rounds abort, and the IBF protocol's
+// converged steady-state bytes/round sit at least minRatio below the
+// digest baseline at the same key count.
+func TestMillionKeyScaled(t *testing.T) {
+	keys, minRatio := millionKeyTestScale()
+	digest := runMillionKey(1, 4, keys, false)
+	ibf := runMillionKey(1, 4, keys, true)
+	for _, r := range []millionKeyResult{digest, ibf} {
+		if r.writes == 0 {
+			t.Fatalf("%s: write window produced no writes", r.protocol)
+		}
+		if r.aborted != 0 {
+			t.Errorf("%s: %d aborted rounds with no detaches", r.protocol, r.aborted)
+		}
+		if r.rounds == 0 {
+			t.Fatalf("%s: no completed gossip rounds", r.protocol)
+		}
+		if r.converge <= 0 || r.converge >= millionKeyQuiesce {
+			t.Errorf("%s: convergence %v outside (0, %v)", r.protocol, r.converge, millionKeyQuiesce)
+		}
+		if r.staleP99 <= 0 {
+			t.Errorf("%s: staleness p99 = %v, want > 0", r.protocol, r.staleP99)
+		}
+		if r.steadyPer <= 0 {
+			t.Errorf("%s: steady bytes/round = %d, want > 0", r.protocol, r.steadyPer)
+		}
+	}
+	if digest.writes != ibf.writes {
+		t.Errorf("write schedule diverged across protocols: %d vs %d", digest.writes, ibf.writes)
+	}
+	ratio := float64(digest.steadyPer) / float64(ibf.steadyPer)
+	if ratio < minRatio {
+		t.Errorf("steady-state bytes ratio digest/ibf = %.0fx (%d/%d), want ≥ %.0fx at %d keys",
+			ratio, digest.steadyPer, ibf.steadyPer, minRatio, keys)
+	}
+}
+
+// TestMillionKeyDeterministic: identical (seed, params) runs must produce
+// identical measurements — the property the sweep engine and goldens
+// elsewhere rely on.
+func TestMillionKeyDeterministic(t *testing.T) {
+	keys := 16_384
+	a := runMillionKey(3, 3, keys, true)
+	b := runMillionKey(3, 3, keys, true)
+	if a != b {
+		t.Errorf("two identical runs diverged:\n %+v\n %+v", a, b)
+	}
+}

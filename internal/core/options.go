@@ -16,6 +16,7 @@ var (
 	optSketch     atomic.Bool
 	optPopulation atomic.Bool
 	optUsers      atomic.Int64
+	optRecon      atomic.Bool
 )
 
 // SetSketchStats switches experiment summaries between the exact Recorder
@@ -30,6 +31,12 @@ func SetPopulationLoad(on bool) { optPopulation.Store(on) }
 // that scale by user count (0 restores each experiment's default).
 func SetUsers(n int) { optUsers.Store(int64(n)) }
 
+// SetReconGossip switches the statecache experiment's gossip between the
+// per-key digest exchange (default, the goldens' reference protocol) and
+// IBF set reconciliation. The millionkey experiment always runs both
+// protocols side by side, so this only affects statecache.
+func SetReconGossip(on bool) { optRecon.Store(on) }
+
 // newSummary builds the latency summary every experiment records into,
 // honoring the -sketch switch.
 func newSummary(name string) stats.Summary {
@@ -38,6 +45,7 @@ func newSummary(name string) stats.Summary {
 
 func sketchStats() bool    { return optSketch.Load() }
 func populationLoad() bool { return optPopulation.Load() }
+func reconGossip() bool    { return optRecon.Load() }
 
 // configuredUsers returns the -users override, or def when unset.
 func configuredUsers(def int) int {

@@ -84,6 +84,20 @@ func FmtDur(d time.Duration) string {
 	}
 }
 
+// FmtBytes formats a byte count with adaptive decimal units.
+func FmtBytes(n int64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.2fGB", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fMB", float64(n)/1e6)
+	case n >= 1_000:
+		return fmt.Sprintf("%.1fKB", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
 // FmtRatio formats a "compared to best" multiplier like the paper's Table 1.
 func FmtRatio(r float64) string {
 	switch {
@@ -125,6 +139,7 @@ func Experiments() []Experiment {
 		{ID: "faasscale", Title: "FaaS at region scale: flash-crowd serving vs provisioned concurrency", Run: RunFaaSScale},
 		{ID: "statecache", Title: "§4 fluid state: function-colocated CRDT cache with gossip anti-entropy", Run: RunStateCache},
 		{ID: "millionuser", Title: "Million-user scale: sketched latencies + aggregated load population", Run: RunMillionUser},
+		{ID: "millionkey", Title: "Million-key gossip: IBF set reconciliation vs per-key digests", Run: RunMillionKey},
 	}
 }
 

@@ -1,0 +1,67 @@
+package recon
+
+import (
+	"encoding/binary"
+	"slices"
+	"testing"
+)
+
+// FuzzDecodeSymmetricDifference feeds arbitrary element sets through the
+// encode → subtract → peel round-trip at an arbitrary cell count. The
+// invariant: whenever Decode reports success, the peeled elements must be
+// exactly the true symmetric difference of the two sets — at any size,
+// including filters far too small for the difference (those must report
+// failure, never a wrong success).
+func FuzzDecodeSymmetricDifference(f *testing.F) {
+	f.Add(uint16(64), []byte{})
+	f.Add(uint16(3), []byte{
+		1, 0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 1,
+		2, 0xca, 0xfe, 0xba, 0xbe, 0, 0, 0, 2,
+		3, 0xaa, 0xbb, 0xcc, 0xdd, 0, 0, 0, 3,
+	})
+	f.Add(uint16(300), []byte{
+		1, 1, 2, 3, 4, 5, 6, 7, 8,
+		2, 1, 2, 3, 4, 5, 6, 7, 8,
+		3, 1, 2, 3, 4, 5, 6, 7, 8,
+	})
+	f.Fuzz(func(t *testing.T, cellsRaw uint16, data []byte) {
+		cells := int(cellsRaw%2048) + 1
+		inA := make(map[uint64]bool)
+		inB := make(map[uint64]bool)
+		// Each 9-byte record is a membership byte plus an element: bit 0
+		// puts it in set A, bit 1 in set B (both bits = shared).
+		for len(data) >= 9 {
+			member, x := data[0], binary.LittleEndian.Uint64(data[1:9])
+			data = data[9:]
+			if member&1 != 0 {
+				inA[x] = true
+			}
+			if member&2 != 0 {
+				inB[x] = true
+			}
+		}
+		fa, fb := New(cells), New(cells)
+		var setA, setB []uint64
+		for x := range inA {
+			fa.Add(x)
+			setA = append(setA, x)
+		}
+		for x := range inB {
+			fb.Add(x)
+			setB = append(setB, x)
+		}
+		var d Decoder
+		gotA, gotB, ok := d.Decode(fa, fb)
+		if !ok {
+			return // undersized summary; the caller's ladder handles this
+		}
+		wantA, wantB := symmetricDiff(setA, setB)
+		gotA, gotB = slices.Clone(gotA), slices.Clone(gotB)
+		slices.Sort(gotA)
+		slices.Sort(gotB)
+		if !slices.Equal(gotA, wantA) || !slices.Equal(gotB, wantB) {
+			t.Fatalf("cells=%d: decode succeeded with wrong difference\n gotA=%v wantA=%v\n gotB=%v wantB=%v",
+				cells, gotA, wantA, gotB, wantB)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package recon
+
+import (
+	"slices"
+	"testing"
+
+	"repro/internal/simrand"
+)
+
+// fill adds every element of set into a fresh filter of the given size.
+func fill(cells int, set []uint64) *Filter {
+	f := New(cells)
+	for _, x := range set {
+		f.Add(x)
+	}
+	return f
+}
+
+// symmetricDiff returns (a\b, b\a) sorted, computed by brute force.
+func symmetricDiff(a, b []uint64) (onlyA, onlyB []uint64) {
+	inA := make(map[uint64]bool, len(a))
+	inB := make(map[uint64]bool, len(b))
+	for _, x := range a {
+		inA[x] = true
+	}
+	for _, x := range b {
+		inB[x] = true
+	}
+	for x := range inA {
+		if !inB[x] {
+			onlyA = append(onlyA, x)
+		}
+	}
+	for x := range inB {
+		if !inA[x] {
+			onlyB = append(onlyB, x)
+		}
+	}
+	slices.Sort(onlyA)
+	slices.Sort(onlyB)
+	return onlyA, onlyB
+}
+
+// checkDecode decodes the two sets' filters and, when decode succeeds,
+// asserts the peeled elements are exactly the true symmetric difference.
+// It returns the decode verdict so callers can assert success/failure.
+func checkDecode(t *testing.T, cells int, setA, setB []uint64) bool {
+	t.Helper()
+	fa, fb := fill(cells, setA), fill(cells, setB)
+	var d Decoder
+	gotA, gotB, ok := d.Decode(fa, fb)
+	if !ok {
+		return false
+	}
+	wantA, wantB := symmetricDiff(setA, setB)
+	gotA, gotB = slices.Clone(gotA), slices.Clone(gotB)
+	slices.Sort(gotA)
+	slices.Sort(gotB)
+	if !slices.Equal(gotA, wantA) || !slices.Equal(gotB, wantB) {
+		t.Fatalf("cells=%d: decode mismatch\n gotA=%v wantA=%v\n gotB=%v wantB=%v",
+			cells, gotA, wantA, gotB, wantB)
+	}
+	return true
+}
+
+func TestDecodeShapes(t *testing.T) {
+	rng := simrand.New(7)
+	shared := make([]uint64, 10_000)
+	for i := range shared {
+		shared[i] = rng.Uint64()
+	}
+	cases := []struct {
+		name       string
+		cells      int
+		setA, setB []uint64
+	}{
+		{"both-empty", 64, nil, nil},
+		{"identical", 64, shared, shared},
+		{"one-empty", 64, []uint64{1, 2, 3}, nil},
+		{"disjoint", 64, []uint64{10, 20, 30}, []uint64{40, 50, 60}},
+		{"subset", 64, shared[:100], shared[:97]},
+		{"single-diff-large-shared", 256, append(slices.Clone(shared), 0xdeadbeef), shared},
+		{"min-cells", 3, []uint64{42}, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if !checkDecode(t, tc.cells, tc.setA, tc.setB) {
+				t.Fatalf("decode failed on a difference well under capacity")
+			}
+		})
+	}
+}
+
+func TestDecodeRandomized(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := simrand.New(seed)
+		cells := 64 + rng.Intn(200)
+		nShared := rng.Intn(5000)
+		nA := rng.Intn(cells / 3)
+		nB := rng.Intn(cells / 3)
+		var setA, setB []uint64
+		for i := 0; i < nShared; i++ {
+			x := rng.Uint64()
+			setA = append(setA, x)
+			setB = append(setB, x)
+		}
+		for i := 0; i < nA; i++ {
+			setA = append(setA, rng.Uint64())
+		}
+		for i := 0; i < nB; i++ {
+			setB = append(setB, rng.Uint64())
+		}
+		if !checkDecode(t, cells, setA, setB) {
+			t.Fatalf("seed %d: decode failed at diff=%d cells=%d", seed, nA+nB, cells)
+		}
+	}
+}
+
+// TestDecodeEscalation drives the sizing ladder a caller is expected to
+// run: a difference far above the base cell count fails to decode, and
+// retrying with enough cells succeeds on the same sets.
+func TestDecodeEscalation(t *testing.T) {
+	rng := simrand.New(3)
+	var setA, setB []uint64
+	for i := 0; i < 400; i++ {
+		setA = append(setA, rng.Uint64())
+	}
+	for i := 0; i < 350; i++ {
+		setB = append(setB, rng.Uint64())
+	}
+	fa, fb := fill(64, setA), fill(64, setB)
+	var d Decoder
+	if _, _, ok := d.Decode(fa, fb); ok {
+		t.Fatal("a 750-element difference decoded from 64 cells")
+	}
+	for cells := 128; cells <= 2048; cells *= 2 {
+		if checkDecode(t, cells, setA, setB) {
+			return
+		}
+	}
+	t.Fatal("decode still failing at 2048 cells for a 750-element difference")
+}
+
+// TestAddRemoveCancel exercises incremental maintenance: replacing an
+// element (remove old, add new) leaves the filter identical to one built
+// from the final set, including removals applied before the matching add.
+func TestAddRemoveCancel(t *testing.T) {
+	f := New(64)
+	f.Remove(99) // not yet present: counts go negative and cancel later
+	f.Add(1)
+	f.Add(2)
+	f.Remove(1)
+	f.Add(3)
+	f.Add(99)
+	want := fill(64, []uint64{2, 3})
+	var d Decoder
+	onlyA, onlyB, ok := d.Decode(f, want)
+	if !ok || len(onlyA) != 0 || len(onlyB) != 0 {
+		t.Fatalf("incrementally maintained filter differs from rebuilt: %v %v ok=%v",
+			onlyA, onlyB, ok)
+	}
+	f.Remove(2)
+	f.Remove(3)
+	empty := New(64)
+	if _, _, ok := d.Decode(f, empty); !ok {
+		t.Fatal("fully drained filter is not empty")
+	}
+}
+
+func TestGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("decoding mismatched cell geometries did not panic")
+		}
+	}()
+	var d Decoder
+	d.Decode(New(64), New(128))
+}
+
+func TestCellRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 3}, {1, 3}, {3, 3}, {4, 6}, {64, 66}, {256, 258},
+	} {
+		if got := New(tc.ask).Cells(); got != tc.want {
+			t.Errorf("New(%d).Cells() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+	if got := New(64).WireBytes(); got != 66*CellWireBytes {
+		t.Errorf("WireBytes = %d, want %d", got, 66*CellWireBytes)
+	}
+}
+
+// BenchmarkReconRound is the steady-state converged round: subtract two
+// equal live summaries and peel an empty difference. CI gates this at
+// 0 allocs/op — the whole point of the reusable Decoder scratch.
+func BenchmarkReconRound(b *testing.B) {
+	rng := simrand.New(1)
+	fa, fb := New(256), New(256)
+	for i := 0; i < 100_000; i++ {
+		x := rng.Uint64()
+		fa.Add(x)
+		fb.Add(x)
+	}
+	var d Decoder
+	d.Decode(fa, fb) // warm the scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		onlyA, onlyB, ok := d.Decode(fa, fb)
+		if !ok || len(onlyA) != 0 || len(onlyB) != 0 {
+			b.Fatal("equal filters did not decode empty")
+		}
+	}
+}

@@ -42,12 +42,37 @@ func (w regWrite) wins(o regWrite) bool {
 func TestRandomizedPartitionedConvergence(t *testing.T) {
 	for seed := uint64(1); seed <= 8; seed++ {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			testPartitionedConvergence(t, seed)
+			testPartitionedConvergence(t, seed, func(*Config) {})
 		})
 	}
 }
 
-func testPartitionedConvergence(t *testing.T, seed uint64) {
+// The same property under IBF reconciliation: partitions build up
+// differences, healing drains them, and every replica must still land on
+// the reference state.
+func TestRandomizedPartitionedConvergenceRecon(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			testPartitionedConvergence(t, seed, func(cfg *Config) { cfg.Reconcile = true })
+		})
+	}
+}
+
+// With a summary far too small for any real difference, every round runs
+// the 2×/4× escalation ladder into the digest fallback — convergence must
+// not depend on decode ever succeeding.
+func TestReconFallbackStillConverges(t *testing.T) {
+	for seed := uint64(1); seed <= 2; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			testPartitionedConvergence(t, seed, func(cfg *Config) {
+				cfg.Reconcile = true
+				cfg.ReconCells = 3
+			})
+		})
+	}
+}
+
+func testPartitionedConvergence(t *testing.T, seed uint64, tweak func(*Config)) {
 	const (
 		replicaCount = 5
 		opCount      = 400
@@ -57,6 +82,7 @@ func testPartitionedConvergence(t *testing.T, seed uint64) {
 	cfg := DefaultConfig()
 	cfg.GossipInterval = 40 * time.Millisecond
 	cfg.FlushInterval = 300 * time.Millisecond
+	tweak(&cfg)
 	f := newFixture(t, cfg, seed)
 
 	caches := make([]*Cache, replicaCount)

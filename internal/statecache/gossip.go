@@ -1,14 +1,15 @@
 package statecache
 
 // Gossip anti-entropy. Every replica runs one round per GossipInterval
-// against one uniformly random peer: first a digest exchange (per-key
-// state hashes — the constant-size-per-key summary that keeps steady-state
-// gossip bandwidth proportional to the key count, after Eppstein &
-// Goodrich's set-reconciliation digests), then full lattice state for only
-// the keys whose hashes differ, merged in both directions so the pair is
-// identical when the round ends. The three messages (digest, pull
-// response, push) travel the netsim fabric through both VMs' NICs, so
-// gossip bandwidth contends with the functions' own storage traffic.
+// against one uniformly random peer: first a reconciliation leg that
+// finds the disagreeing keys — a digest exchange by default (per-key
+// state hashes, O(keys) bytes), or a constant-size IBF summary under
+// Config.Reconcile (O(diff) bytes; see recon.go) — then full lattice
+// state for only the keys whose hashes differ, merged in both directions
+// so the pair is identical when the round ends. The three messages
+// (digest/summary, pull response, push) travel the netsim fabric through
+// both VMs' NICs, so gossip bandwidth contends with the functions' own
+// storage traffic.
 //
 // Determinism: peers are picked from the attach-ordered replica slice with
 // the replica's own forked RNG; every key iteration is over sorted keys.
@@ -43,6 +44,22 @@ type entry struct {
 	// bill it from then, not from when it was noticed.
 	stale      bool
 	staleSince sim.Time
+
+	// sharedReg marks a register borrowed from the cluster's Preload
+	// template; the entry must clone it before any mutation (unshare).
+	sharedReg bool
+}
+
+// unshare gives a preloaded entry its own register before a mutating
+// Set or Merge, so the write cannot leak into every other preloaded
+// entry sharing the template.
+func (e *entry) unshare() {
+	if !e.sharedReg {
+		return
+	}
+	r := *e.reg
+	e.reg = &r
+	e.sharedReg = false
 }
 
 func newEntry(kind Kind) *entry {
@@ -160,6 +177,7 @@ func (e *entry) merge(other *entry) int64 {
 	case KindPNCounter:
 		e.pn.Merge(other.pn)
 	case KindRegister:
+		e.unshare()
 		e.reg.Merge(other.reg)
 	case KindSet:
 		e.set.Merge(other.set)
@@ -170,56 +188,82 @@ func (e *entry) merge(other *entry) int64 {
 	return e.refresh()
 }
 
-// gossipOnce runs one anti-entropy round from c against one random peer.
+// gossipOnce runs one anti-entropy round from c against one random peer:
+// a reconciliation leg that computes the disagreeing keys (digest
+// exchange by default, IBF summary under Config.Reconcile), then — when
+// the pair actually differs — a pull response and a push so the pair is
+// identical at round end. A round counts as complete only when every leg
+// delivered and merged; a participant detaching mid-flight aborts the
+// round into AbortedRounds instead.
 func (c *Cache) gossipOnce(p *sim.Proc) {
 	peer := c.pickPeer()
 	if peer == nil {
 		return
 	}
 	cl := c.cl
-	cl.gossipRounds++
+	var diff []string
+	var extraResp int64
+	var aborted bool
+	if cl.cfg.Reconcile {
+		diff, extraResp, aborted = c.reconDiff(p, peer)
+	} else {
+		diff, aborted = c.digestDiff(p, peer)
+	}
+	if aborted {
+		cl.abortedRounds++
+		return
+	}
+	if len(diff) > 0 {
+		// 2. The peer answers with its state for every key in the diff
+		// (plus, on the IBF path, the element digests it could not name).
+		resp := int64(cl.cfg.MessageOverheadBytes) + extraResp
+		for _, k := range diff {
+			if e := peer.entries[k]; e != nil {
+				resp += e.bytes
+			}
+		}
+		cl.bytesPayload += resp
+		cl.net.Send(p, peer.node, c.node, resp)
+		if c.detached {
+			cl.abortedRounds++
+			return
+		}
+		c.mergeFrom(p.Now(), peer, diff)
 
-	// 1. Digest: c ships one fixed-size line per cached key. The running
-	// key-length sum makes sizing O(1) instead of a walk over every key.
+		// 3. Push: c returns its (now joined) state for the same keys,
+		// making the pair identical at round end.
+		push := int64(cl.cfg.MessageOverheadBytes)
+		for _, k := range diff {
+			if e := c.entries[k]; e != nil {
+				push += e.bytes
+			}
+		}
+		cl.bytesPush += push
+		cl.net.Send(p, c.node, peer.node, push)
+		if peer.detached {
+			cl.abortedRounds++
+			return
+		}
+		peer.mergeFrom(p.Now(), c, diff)
+	}
+	cl.gossipRounds++
+}
+
+// digestDiff runs the reconciliation leg of the default protocol: c
+// ships one fixed-size digest line per cached key (the running
+// key-length sum makes sizing O(1) instead of a walk over every key),
+// and the peer compares it against its own entries. The diff covers keys
+// missing from either side or hashing differently.
+func (c *Cache) digestDiff(p *sim.Proc, peer *Cache) (diff []string, aborted bool) {
+	cl := c.cl
 	digest := int64(cl.cfg.MessageOverheadBytes) +
 		c.keyBytes + int64(len(c.keys)*cl.cfg.DigestBytesPerKey)
+	cl.bytesSummary += digest
 	cl.net.Send(p, c.node, peer.node, digest)
 	if peer.detached {
-		return // reclaimed while the digest was in flight
+		return nil, true // reclaimed while the digest was in flight
 	}
-
-	// 2. The peer answers the digest with its state for every key that is
-	// missing from it or hashes differently (it learns c's missing keys
-	// from the digest; its own extra keys ride along unprompted).
-	diff := diffKeys(c, peer)
-	if len(diff) == 0 {
-		return
-	}
-	resp := int64(cl.cfg.MessageOverheadBytes)
-	for _, k := range diff {
-		if e := peer.entries[k]; e != nil {
-			resp += e.bytes
-		}
-	}
-	cl.net.Send(p, peer.node, c.node, resp)
-	if c.detached {
-		return
-	}
-	c.mergeFrom(p.Now(), peer, diff)
-
-	// 3. Push: c returns its (now joined) state for the same keys, making
-	// the pair identical at round end.
-	push := int64(cl.cfg.MessageOverheadBytes)
-	for _, k := range diff {
-		if e := c.entries[k]; e != nil {
-			push += e.bytes
-		}
-	}
-	cl.net.Send(p, c.node, peer.node, push)
-	if peer.detached {
-		return
-	}
-	peer.mergeFrom(p.Now(), c, diff)
+	return diffKeys(c, peer), false
 }
 
 // pickPeer selects one uniformly random gossip partner, honoring the
@@ -261,17 +305,17 @@ func diffKeys(a, b *Cache) []string {
 	for i < len(ak) || j < len(bk) {
 		switch {
 		case j >= len(bk) || (i < len(ak) && ak[i] < bk[j]):
-			a.fresh(a.entries[ak[i]])
+			a.fresh(ak[i], a.entries[ak[i]])
 			out = append(out, ak[i])
 			i++
 		case i >= len(ak) || bk[j] < ak[i]:
-			b.fresh(b.entries[bk[j]])
+			b.fresh(bk[j], b.entries[bk[j]])
 			out = append(out, bk[j])
 			j++
 		default: // both hold the key: compare freshened digests
 			ae, be := a.entries[ak[i]], b.entries[bk[j]]
-			a.fresh(ae)
-			b.fresh(be)
+			a.fresh(ak[i], ae)
+			b.fresh(bk[j], be)
 			if ae.hash != be.hash {
 				out = append(out, ak[i])
 			}
@@ -291,16 +335,17 @@ func (c *Cache) mergeFrom(now sim.Time, src *Cache, keys []string) {
 		if se == nil {
 			continue
 		}
-		src.fresh(se)
+		src.fresh(k, se)
 		e, ok := c.entries[k]
 		if !ok {
 			e = newEntry(se.kind)
 			c.entries[k] = e
 			c.addKey(k)
+			c.reconInsert(k, e)
 		}
 		// Settle any deferred local growth first, so the merge delta and
 		// the changed-state check are against a current footprint/hash.
-		c.fresh(e)
+		c.fresh(k, e)
 		if ok && e.hash == se.hash && e.kind == se.kind {
 			// Identical serialized state: the join is an identity, the
 			// footprint delta zero and the digest unchanged, so the merge
@@ -314,8 +359,10 @@ func (c *Cache) mergeFrom(now sim.Time, src *Cache, keys []string) {
 		}
 		before := e.hash
 		c.reweigh(e.merge(se))
+		c.reconRehash(k, before, e.hash)
 		if e.hash != before {
 			c.cl.staleness.Add(time.Duration(now - se.lastWrite))
+			c.cl.lastMerge = now
 		}
 	}
 }

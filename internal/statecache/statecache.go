@@ -12,7 +12,10 @@
 // exchange first, so steady-state bandwidth is proportional to the key
 // count rather than the state size (the invertible-Bloom-filter
 // reconciliation idea from Eppstein & Goodrich, simplified to per-key
-// hashes), then a delta merge for only the keys that differ — and a
+// hashes), then a delta merge for only the keys that differ; a
+// Config.Reconcile option replaces the O(keys) digest with a true
+// constant-size IBF summary so a round costs O(symmetric difference)
+// bytes (see recon.go). A
 // write-behind flush persists dirty entries into the sharded kvstore as
 // read-merge-write upserts. All gossip and flush traffic is metered on the
 // netsim fabric through the replicas' VM NICs, and resident cache memory
@@ -25,9 +28,11 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/crdt"
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
 	"repro/internal/pricing"
+	"repro/internal/recon"
 	"repro/internal/sim"
 	"repro/internal/simrand"
 	"repro/internal/stats"
@@ -62,6 +67,22 @@ type Config struct {
 	// instead of the exact recorder — million-user clusters gossip enough
 	// merges that full sample retention dominates memory.
 	SketchStaleness bool
+
+	// Reconcile switches gossip from the per-key digest exchange to
+	// invertible-Bloom-filter set reconciliation: a round ships a fixed
+	// ReconCells-cell summary and peels out exactly the disagreeing keys,
+	// so steady-state bytes are O(symmetric difference) instead of
+	// O(keys). Decode failures escalate to 2× and 4× summaries and then
+	// fall back to the digest exchange, so convergence never depends on
+	// decode success. Default off: the digest protocol is the reference
+	// oracle and keeps historical output byte-identical.
+	Reconcile bool
+
+	// ReconCells sizes the IBF summary (CellWireBytes bytes each; the
+	// count rounds up to a multiple of the hash count). Decode succeeds
+	// w.h.p. while the number of differing (key, state-hash) elements
+	// stays below roughly half the cell count.
+	ReconCells int
 }
 
 // DefaultConfig returns the calibrated configuration.
@@ -73,6 +94,7 @@ func DefaultConfig() Config {
 		DigestBytesPerKey:    24,
 		MessageOverheadBytes: 64,
 		FlushRetries:         4,
+		ReconCells:           256,
 	}
 }
 
@@ -129,9 +151,23 @@ type Cluster struct {
 	bytes int64
 	since sim.Time
 
-	nextID       int
-	gossipRounds int64
-	flushWrites  int64
+	nextID        int
+	gossipRounds  int64
+	abortedRounds int64
+	flushWrites   int64
+
+	// Gossip traffic breakdown (see GossipBytes) and the time of the last
+	// state-changing merge (see LastMergeChange).
+	bytesSummary int64
+	bytesPayload int64
+	bytesPush    int64
+	lastMerge    sim.Time
+
+	// Preload memoizes the shared register template so bulk-loading a
+	// million identical entries marshals exactly once.
+	preReg   *crdt.LWWRegister
+	preBytes int64
+	preHash  uint64
 }
 
 // New creates a cluster backed by the given store. The cluster is inert
@@ -149,6 +185,9 @@ func New(name string, net *netsim.Network, store *kvstore.Store, rng *simrand.RN
 	}
 	if cfg.OpLatency == nil {
 		cfg.OpLatency = DefaultConfig().OpLatency
+	}
+	if cfg.ReconCells <= 0 {
+		cfg.ReconCells = DefaultConfig().ReconCells
 	}
 	return &Cluster{
 		name:      name,
@@ -178,6 +217,12 @@ func (cl *Cluster) Attach(node *netsim.Node) *Cache {
 		rng:     cl.rng.Fork(),
 		entries: make(map[string]*entry),
 		dirty:   make(map[string]bool),
+	}
+	if cl.cfg.Reconcile {
+		c.rc = &reconState{
+			live:  recon.New(cl.cfg.ReconCells),
+			elems: make(map[uint64]string),
+		}
 	}
 	cl.replicas = append(cl.replicas, c)
 	cl.byNode[node] = c
@@ -220,7 +265,7 @@ func (cl *Cluster) Detach(node *netsim.Node) {
 	// Settle deferred refreshes while the replica is still billed, so the
 	// bytes subtracted below are the bytes that were being charged.
 	for _, k := range c.sortedKeys() {
-		c.fresh(c.entries[k])
+		c.fresh(k, c.entries[k])
 	}
 	c.detached = true
 	delete(cl.byNode, node)
@@ -258,8 +303,40 @@ func (cl *Cluster) Staleness() stats.Summary { return cl.staleness }
 // CachedBytes reports the resident lattice state across all replicas.
 func (cl *Cluster) CachedBytes() int64 { return cl.bytes }
 
-// GossipRounds reports how many anti-entropy rounds have run.
+// GossipRounds reports how many anti-entropy rounds ran to completion
+// (every leg delivered and merged). Rounds cut short by a peer detaching
+// mid-flight are counted by AbortedRounds instead.
 func (cl *Cluster) GossipRounds() int64 { return cl.gossipRounds }
+
+// AbortedRounds reports how many gossip rounds were cut short at any leg
+// by a participant detaching while a message was in flight.
+func (cl *Cluster) AbortedRounds() int64 { return cl.abortedRounds }
+
+// GossipTraffic is a cluster's cumulative gossip byte breakdown. Summary
+// covers the reconciliation control legs — per-key digests under the
+// default protocol, IBF summaries plus escalation nacks/retries under
+// Config.Reconcile. Payload covers pull responses (peer state for the
+// diff, plus unresolved element digests on the IBF path) and Push the
+// final push legs.
+type GossipTraffic struct {
+	Summary int64
+	Payload int64
+	Push    int64
+}
+
+// Total returns the all-legs byte sum.
+func (g GossipTraffic) Total() int64 { return g.Summary + g.Payload + g.Push }
+
+// GossipBytes reports the cumulative gossip traffic by message leg,
+// including the legs of rounds that were later aborted.
+func (cl *Cluster) GossipBytes() GossipTraffic {
+	return GossipTraffic{Summary: cl.bytesSummary, Payload: cl.bytesPayload, Push: cl.bytesPush}
+}
+
+// LastMergeChange reports the virtual time of the last gossip merge that
+// changed any replica's state. Once writes stop, the cluster is converged
+// when this stops advancing.
+func (cl *Cluster) LastMergeChange() sim.Time { return cl.lastMerge }
 
 // FlushWrites reports how many kvstore writes the write-behind path made.
 func (cl *Cluster) FlushWrites() int64 { return cl.flushWrites }
@@ -271,7 +348,7 @@ func (cl *Cluster) FlushWrites() int64 { return cl.flushWrites }
 func (cl *Cluster) Accrue(now sim.Time) {
 	for _, c := range cl.replicas {
 		for _, k := range c.sortedKeys() {
-			c.fresh(c.entries[k])
+			c.fresh(k, c.entries[k])
 		}
 	}
 	cl.accrue(now)
@@ -324,10 +401,21 @@ type Cache struct {
 	diffScratch  []string
 	candScratch  []*Cache
 	flushScratch []string
+
+	// rc is the IBF reconciliation state (nil unless Config.Reconcile).
+	rc *reconState
 }
 
 // addKey records a newly created entry's key in the sorted key slice.
+// Keys arriving in ascending order (bulk preloads, merge walks over a
+// peer's sorted diff into an empty replica) append in O(1) instead of
+// paying the binary search and shift.
 func (c *Cache) addKey(key string) {
+	if n := len(c.keys); n == 0 || c.keys[n-1] < key {
+		c.keys = append(c.keys, key)
+		c.keyBytes += int64(len(key))
+		return
+	}
 	i := sort.SearchStrings(c.keys, key)
 	c.keys = append(c.keys, "")
 	copy(c.keys[i+1:], c.keys[i:])
@@ -382,6 +470,7 @@ func (c *Cache) at(key string, kind Kind, create bool) *entry {
 	e = newEntry(kind)
 	c.entries[key] = e
 	c.addKey(key)
+	c.reconInsert(key, e)
 	return e
 }
 
@@ -393,6 +482,9 @@ func (c *Cache) wrote(p *sim.Proc, key string, e *entry) {
 	if !e.stale {
 		e.stale = true
 		e.staleSince = p.Now()
+		if c.rc != nil {
+			c.rc.stale = append(c.rc.stale, key)
+		}
 	}
 	c.dirty[key] = true
 }
@@ -403,11 +495,13 @@ func (c *Cache) wrote(p *sim.Proc, key string, e *entry) {
 // sub-cent approximation of netting a window's mutations to its start)
 // what an interval of resident memory costs. Shrinkage is applied forward
 // only; no retroactive refunds.
-func (c *Cache) fresh(e *entry) {
+func (c *Cache) fresh(key string, e *entry) {
 	if !e.stale {
 		return
 	}
+	old := e.hash
 	delta := e.refresh()
+	c.reconRehash(key, old, e.hash)
 	c.reweigh(delta)
 	if c.detached || delta <= 0 {
 		return
@@ -469,6 +563,7 @@ func (c *Cache) Counter(p *sim.Proc, key string) int64 {
 func (c *Cache) SetRegister(p *sim.Proc, key, val string) {
 	c.touch(p)
 	e := c.at(key, KindRegister, true)
+	e.unshare()
 	e.reg.Set(c.replica, int64(p.Now()), val)
 	c.wrote(p, key, e)
 }
@@ -552,6 +647,43 @@ func (c *Cache) PeekSet(key string) []string {
 
 // DirtyKeys reports how many entries await the write-behind flush.
 func (c *Cache) DirtyKeys() int { return len(c.dirty) }
+
+// Preload installs a pre-converged LWW-register entry without simulated
+// latency: the setup path for experiments that start from a warmed,
+// already-replicated key space (preload the same key/value on every
+// replica). The register carries the reserved "preload" actor at stamp
+// zero, so any real write wins; identical values share one memoized
+// template register and its marshaled footprint/hash (bulk-loading a
+// million keys marshals once and allocates no per-entry lattice — the
+// entry unshares on first mutation or merge). Entries are not marked
+// dirty: a preload models state already durable. Keys must be new, and
+// ascending preload order appends to the sorted index in O(1).
+func (c *Cache) Preload(key, val string) {
+	if c.detached {
+		panic("statecache: Preload on a detached replica")
+	}
+	if _, ok := c.entries[key]; ok {
+		panic(fmt.Sprintf("statecache: Preload of existing key %q", key))
+	}
+	cl := c.cl
+	if cl.preReg == nil || cl.preReg.Val != val {
+		reg := &crdt.LWWRegister{Val: val, Replica: "preload"}
+		tmp := &entry{kind: KindRegister, reg: reg}
+		tmp.refresh()
+		cl.preReg, cl.preBytes, cl.preHash = reg, tmp.bytes, tmp.hash
+	}
+	e := &entry{
+		kind:      KindRegister,
+		reg:       cl.preReg,
+		sharedReg: true,
+		bytes:     cl.preBytes,
+		hash:      cl.preHash,
+	}
+	c.entries[key] = e
+	c.addKey(key)
+	c.reconInsert(key, e)
+	c.reweigh(e.bytes)
+}
 
 // sortedKeys returns the replica's key set in deterministic order. The
 // slice is the incrementally maintained index itself — callers must not
@@ -648,7 +780,7 @@ func (c *Cache) flushKey(p *sim.Proc, key string) error {
 	if e == nil {
 		return nil
 	}
-	c.fresh(e)
+	c.fresh(key, e)
 	storeKey := c.cl.name + "/" + key
 	for attempt := 0; attempt < c.cl.cfg.FlushRetries; attempt++ {
 		var version int64
@@ -663,7 +795,9 @@ func (c *Cache) flushKey(p *sim.Proc, key string) error {
 			// local join — merging it back in would be an identity, so the
 			// re-marshal is skipped (the write stamp still converges).
 			if stored.hash != e.hash || stored.kind != e.kind {
+				before := e.hash
 				c.reweigh(e.merge(stored))
+				c.reconRehash(key, before, e.hash)
 			} else if stored.lastWrite > e.lastWrite {
 				e.lastWrite = stored.lastWrite
 			}
