@@ -51,12 +51,18 @@ func main() {
 		"override the simulated client-population size (0 = each experiment's default)")
 	recon := flag.Bool("recon", false,
 		"reconcile statecache gossip with constant-size IBF summaries instead of per-key digests")
+	chaosOn := flag.Bool("chaos", true,
+		"inject the regionfailover experiment's faults (false = healthy control rows only)")
+	regions := flag.Int("regions", 0,
+		"override the regionfailover experiment's region count (0 = default of 2)")
 	flag.Parse()
 	sweep.SetWorkers(*workers)
 	core.SetSketchStats(*sketch)
 	core.SetPopulationLoad(*population)
 	core.SetUsers(*users)
 	core.SetReconGossip(*recon)
+	core.SetChaos(*chaosOn)
+	core.SetRegions(*regions)
 
 	if *list {
 		for _, e := range core.Experiments() {

@@ -17,6 +17,8 @@ var (
 	optPopulation atomic.Bool
 	optUsers      atomic.Int64
 	optRecon      atomic.Bool
+	optNoChaos    atomic.Bool
+	optRegions    atomic.Int64
 )
 
 // SetSketchStats switches experiment summaries between the exact Recorder
@@ -37,6 +39,15 @@ func SetUsers(n int) { optUsers.Store(int64(n)) }
 // protocols side by side, so this only affects statecache.
 func SetReconGossip(on bool) { optRecon.Store(on) }
 
+// SetChaos gates the regionfailover experiment's fault injection (the
+// -chaos flag). Default on — the chaos rows are the experiment's point and
+// the goldens pin them — but off gives a clean all-healthy control run.
+func SetChaos(on bool) { optNoChaos.Store(!on) }
+
+// SetRegions overrides the regionfailover experiment's region count
+// (0 restores the default of 2).
+func SetRegions(n int) { optRegions.Store(int64(n)) }
+
 // newSummary builds the latency summary every experiment records into,
 // honoring the -sketch switch.
 func newSummary(name string) stats.Summary {
@@ -46,6 +57,15 @@ func newSummary(name string) stats.Summary {
 func sketchStats() bool    { return optSketch.Load() }
 func populationLoad() bool { return optPopulation.Load() }
 func reconGossip() bool    { return optRecon.Load() }
+func chaosEnabled() bool   { return !optNoChaos.Load() }
+
+// configuredRegions returns the -regions override, or def when unset.
+func configuredRegions(def int) int {
+	if n := optRegions.Load(); n >= 2 {
+		return int(n)
+	}
+	return def
+}
 
 // configuredUsers returns the -users override, or def when unset.
 func configuredUsers(def int) int {

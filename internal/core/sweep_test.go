@@ -16,6 +16,7 @@ import (
 var sweepFamilies = []string{
 	"regionscale", "faasscale", "statecache",
 	"electionsweep", "election", "firecracker", "autoscale",
+	"regionfailover",
 }
 
 // renderAll renders an experiment's tables into one string.

@@ -1,0 +1,146 @@
+package dataflow
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestStragglerTrackerRoundTrip(t *testing.T) {
+	st := NewStragglerTracker(64)
+	for id := uint64(1); id <= 20; id++ {
+		st.Dispatch(id)
+	}
+	for id := uint64(1); id <= 20; id++ {
+		if id%5 != 0 {
+			st.Complete(id)
+		}
+	}
+	if st.Outstanding() != 4 {
+		t.Fatalf("Outstanding = %d, want 4", st.Outstanding())
+	}
+	els, ok := st.Identify()
+	if !ok {
+		t.Fatalf("decode failed with 4 outstanding in 64 cells")
+	}
+	want := map[uint64]bool{mixedID(5): true, mixedID(10): true, mixedID(15): true, mixedID(20): true}
+	if len(els) != 4 {
+		t.Fatalf("identified %d elements, want 4", len(els))
+	}
+	for _, el := range els {
+		if !want[el] {
+			t.Errorf("unexpected element %#x", el)
+		}
+	}
+}
+
+func TestStragglerTrackerOverflowFailsDecode(t *testing.T) {
+	st := NewStragglerTracker(8)
+	for id := uint64(1); id <= 100; id++ {
+		st.Dispatch(id)
+	}
+	if _, ok := st.Identify(); ok {
+		t.Fatalf("decode succeeded with 100 outstanding in 8 cells")
+	}
+	// Draining restores decodability — the set only shrinks.
+	for id := uint64(1); id <= 98; id++ {
+		st.Complete(id)
+	}
+	if els, ok := st.Identify(); !ok || len(els) != 2 {
+		t.Fatalf("after drain: ok=%v n=%d, want 2 decodable stragglers", ok, len(els))
+	}
+}
+
+// A 20×-slowed worker turns its partitions into stragglers; spare agents
+// must rescue them and beat the no-rescue baseline's makespan.
+func TestExecuteResilientRescuesStragglers(t *testing.T) {
+	run := func(spares int) (time.Duration, *RedispatchReport) {
+		f := newFixture(t)
+		job := makeJob(f.pf, 8, 50e6, []Op{mapOp(), filterOp()})
+		plan := &Plan{Job: job, Placement: ShipDataToCode}
+		ex := NewExecutor(f.pf, DefaultEnv())
+		pol := StragglerPolicy{
+			Patience: 200 * time.Millisecond,
+			Spares:   spares,
+			Slow: func(w int) float64 {
+				if w == 0 {
+					return 20
+				}
+				return 1
+			},
+		}
+		var res *Result
+		var rep *RedispatchReport
+		f.k.Spawn("driver", func(p *sim.Proc) {
+			var err error
+			res, rep, err = ex.ExecuteResilient(p, plan, 4, pol)
+			if err != nil {
+				t.Errorf("ExecuteResilient: %v", err)
+			}
+		})
+		f.k.Run()
+		if res == nil {
+			t.Fatalf("no result")
+		}
+		if res.Partitions != 8 {
+			t.Fatalf("Partitions = %d", res.Partitions)
+		}
+		return res.Elapsed, rep
+	}
+	baseline, baseRep := run(0)
+	rescued, rescRep := run(2)
+	if baseRep.Redispatched != 0 || baseRep.Rescued != 0 {
+		t.Errorf("baseline re-dispatched: %+v", baseRep)
+	}
+	if rescRep.Stragglers == 0 || rescRep.Rescued == 0 {
+		t.Errorf("rescue run found no stragglers: %+v", rescRep)
+	}
+	if !rescRep.DecodeOK {
+		t.Errorf("IBF decode failed during rescue run")
+	}
+	if rescued >= baseline {
+		t.Errorf("rescue did not improve makespan: baseline %v, rescued %v", baseline, rescued)
+	}
+}
+
+// With healthy workers re-dispatch must stay idle and match Execute's
+// makespan (the tracker adds bookkeeping, not wall-clock).
+func TestExecuteResilientHealthyMatchesExecute(t *testing.T) {
+	f := newFixture(t)
+	job := makeJob(f.pf, 6, 20e6, []Op{mapOp()})
+	plan := &Plan{Job: job, Placement: ShipDataToCode}
+	var plain, resilient time.Duration
+	var rep *RedispatchReport
+	f.k.Spawn("driver", func(p *sim.Proc) {
+		ex := NewExecutor(f.pf, DefaultEnv())
+		res, err := ex.Execute(p, plan, 3)
+		if err != nil {
+			t.Errorf("Execute: %v", err)
+			return
+		}
+		plain = res.Elapsed
+		res2, r, err := ex.ExecuteResilient(p, plan, 3, StragglerPolicy{Patience: 100 * time.Millisecond, Spares: 2})
+		if err != nil {
+			t.Errorf("ExecuteResilient: %v", err)
+			return
+		}
+		resilient = res2.Elapsed
+		rep = r
+		if res2.OutputBytes != res.OutputBytes {
+			t.Errorf("output bytes differ: %d vs %d", res2.OutputBytes, res.OutputBytes)
+		}
+	})
+	f.k.Run()
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if rep.Stragglers != 0 || rep.Redispatched != 0 {
+		t.Errorf("healthy run re-dispatched: %+v", rep)
+	}
+	// The resilient coordinator discovers completion by polling, so allow
+	// one patience quantum of slack.
+	if resilient > plain+100*time.Millisecond {
+		t.Errorf("resilient makespan %v far above plain %v", resilient, plain)
+	}
+}

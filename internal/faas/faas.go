@@ -18,6 +18,7 @@ package faas
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/netsim"
@@ -139,6 +140,10 @@ type hostVM struct {
 	// platform has an attached cluster. Handlers reach it via Ctx.Cache;
 	// reclaimVM detaches (and thereby drains) it before recycling the node.
 	cache *statecache.Cache
+	// doomed marks a crashed VM (see CrashVMs): containers mid-invocation
+	// finish but are destroyed instead of re-pooled, so the VM drains and
+	// reclaims. Cleared when pickVM recycles the node.
+	doomed bool
 }
 
 // container is one function sandbox.
@@ -157,6 +162,7 @@ type container struct {
 
 // Platform is the FaaS control plane plus its fleet of hosting VMs.
 type Platform struct {
+	name    string
 	net     *netsim.Network
 	rng     *simrand.RNG
 	cfg     Config
@@ -170,6 +176,13 @@ type Platform struct {
 	idle        map[string][]*container // warm pool per function, LIFO
 	concurrency *sim.Resource
 	nextVM      int
+	// region pins the fleet: every hosting VM's node is created in the
+	// region the platform itself was created in, whatever the network's
+	// build region is when a cold start happens to allocate it.
+	region int
+	// slow maps a hosting VM's node to its compute-slowdown factor (the
+	// chaos engine's straggler knob); absent means full speed.
+	slow map[*netsim.Node]float64
 
 	// Fleet-wide concurrency accounting (see stats.go).
 	inFlight        int
@@ -189,6 +202,7 @@ type Platform struct {
 func New(name string, net *netsim.Network, rng *simrand.RNG, cfg Config,
 	catalog *pricing.Catalog, meter *pricing.Meter) *Platform {
 	return &Platform{
+		name:        name,
 		net:         net,
 		rng:         rng,
 		cfg:         cfg,
@@ -198,6 +212,7 @@ func New(name string, net *netsim.Network, rng *simrand.RNG, cfg Config,
 		functions:   make(map[string]*Function),
 		idle:        make(map[string][]*container),
 		concurrency: sim.NewResource(cfg.AccountConcurrency),
+		region:      net.BuildRegion(),
 	}
 }
 
@@ -382,17 +397,89 @@ func (pf *Platform) pickVM() *hostVM {
 	if n := len(pf.freeVMs); n > 0 {
 		vm := pf.freeVMs[n-1]
 		pf.freeVMs = pf.freeVMs[:n-1]
+		vm.doomed = false
 		pf.vms = append(pf.vms, vm)
 		pf.attachCache(vm)
 		return vm
 	}
 	pf.nextVM++
+	prev := pf.net.SetBuildRegion(pf.region)
 	vm := &hostVM{
-		node: pf.net.NewNode(fmt.Sprintf("lambda-vm-%d", pf.nextVM), pf.cfg.Rack, pf.cfg.VMNICBps),
+		node: pf.net.NewNode(fmt.Sprintf("%s-vm-%d", pf.name, pf.nextVM), pf.cfg.Rack, pf.cfg.VMNICBps),
 	}
+	pf.net.SetBuildRegion(prev)
 	pf.vms = append(pf.vms, vm)
 	pf.attachCache(vm)
 	return vm
+}
+
+// VMNodes returns the active hosting VMs' network nodes in fleet order
+// (the chaos engine's handle for per-node slowdown injection).
+func (pf *Platform) VMNodes() []*netsim.Node {
+	nodes := make([]*netsim.Node, len(pf.vms))
+	for i, vm := range pf.vms {
+		nodes[i] = vm.node
+	}
+	return nodes
+}
+
+// CrashVMs fails the first n active hosting VMs — a correlated
+// crash-reclaim storm. Victims' idle containers are destroyed on the spot
+// (stopping their provisioned-concurrency billing; each emptied VM funnels
+// through reclaimVM, which detaches and drains its cache replica before
+// recycling the node). Containers mid-invocation finish their current
+// handler but are destroyed instead of re-pooled. The autoscaler's next
+// reconcile tick observes the lost provisioned capacity and rebuilds it.
+// Returns how many VMs were crashed.
+func (pf *Platform) CrashVMs(n int) int {
+	if n > len(pf.vms) {
+		n = len(pf.vms)
+	}
+	if n <= 0 {
+		return 0
+	}
+	for _, vm := range pf.vms[:n] {
+		vm.doomed = true
+	}
+	// Sweep doomed containers out of the warm pools in sorted function
+	// order: destruction emits billing events, and map iteration order
+	// must not leak into the simulation.
+	names := make([]string, 0, len(pf.idle))
+	for name := range pf.idle {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pool := pf.idle[name]
+		w := 0
+		for _, cont := range pool {
+			if cont.vm.doomed {
+				pf.destroyContainer(cont)
+				continue
+			}
+			pool[w] = cont
+			w++
+		}
+		pf.idle[name] = pool[:w]
+	}
+	return n
+}
+
+// SetComputeSlowdown scales the named VM node's compute rate down by
+// factor (a straggler runs factor× slower through Ctx.Compute; network
+// I/O already degrades through the fabric). Factor 1 restores full speed.
+func (pf *Platform) SetComputeSlowdown(node *netsim.Node, factor float64) {
+	if factor <= 0 {
+		panic("faas: slowdown factor must be positive")
+	}
+	if factor == 1 {
+		delete(pf.slow, node)
+		return
+	}
+	if pf.slow == nil {
+		pf.slow = make(map[*netsim.Node]float64)
+	}
+	pf.slow[node] = factor
 }
 
 // AttachStateCache colocates one replica of the given cluster with every
@@ -422,9 +509,10 @@ func (pf *Platform) attachCache(vm *hostVM) {
 }
 
 func (pf *Platform) releaseContainer(p *sim.Proc, cont *container) {
-	if pf.functions[cont.fn.Name] != cont.fn {
-		// The function was replaced while this invocation ran; the
-		// container holds the old deployment and must not be pooled.
+	if pf.functions[cont.fn.Name] != cont.fn || cont.vm.doomed {
+		// The function was replaced while this invocation ran, or the
+		// hosting VM crashed under it; either way the container must not
+		// be pooled.
 		pf.destroyContainer(cont)
 		return
 	}
@@ -562,8 +650,12 @@ func (c *Ctx) ComputeShare() float64 {
 }
 
 // Compute blocks for the time this function takes to crunch through `bytes`
-// of data at its memory-scaled CPU share.
+// of data at its memory-scaled CPU share (divided by any chaos-injected
+// slowdown on the hosting VM).
 func (c *Ctx) Compute(bytes int64) {
 	rate := c.pf.cfg.FullCoreComputeMBps * 1e6 * c.ComputeShare()
+	if f := c.pf.slow[c.cont.vm.node]; f > 0 {
+		rate /= f
+	}
 	c.proc.Sleep(time.Duration(float64(bytes) / rate * float64(time.Second)))
 }

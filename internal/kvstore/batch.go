@@ -121,7 +121,10 @@ func (s *Store) BatchWrite(p *sim.Proc, caller *netsim.Node, items map[string][]
 			// Overwrites clear any TTL, like writes that omit the TTL
 			// attribute in DynamoDB.
 			it := Item{Key: k, Value: append([]byte(nil), v...), Version: curVer + 1}
-			sh.items[k] = &record{item: it, prev: prev, writtenAt: p.Now()}
+			sh.items[k] = &record{item: it, prev: prev, writtenAt: p.Now(), origin: p.Now(), originSrc: s.origin}
+			if s.onWrite != nil {
+				s.onWrite(k, it.Value, p.Now())
+			}
 			out[k] = it
 		}
 	}

@@ -102,6 +102,11 @@ type record struct {
 	prev      *Item // previous version, for eventual reads
 	writtenAt sim.Time
 	expiresAt sim.Time // 0 = no TTL
+	// Cross-region replication stamps (see global.go): when and where the
+	// write originated. Conflicts between regions resolve last-writer-wins
+	// on (origin, originSrc).
+	origin    sim.Time
+	originSrc int
 }
 
 // shard is one hash partition: a front end plus its slice of the key space.
@@ -115,6 +120,12 @@ type Store struct {
 	name   string
 	cfg    Config
 	shards []*shard
+
+	// Cross-region replication wiring (see global.go): the region stamp
+	// this replica writes into records, and the hook a GlobalTable installs
+	// to queue locally accepted writes for shipping to peer regions.
+	origin  int
+	onWrite func(key string, value []byte, origin sim.Time)
 }
 
 // New creates a table attached to the network in rack `rack`. With
@@ -248,8 +259,37 @@ func (s *Store) write(p *sim.Proc, caller *netsim.Node, key string,
 		prevCopy := rec.item
 		prev = &prevCopy
 	}
-	sh.items[key] = &record{item: it, prev: prev, writtenAt: p.Now()}
+	now := p.Now()
+	sh.items[key] = &record{item: it, prev: prev, writtenAt: now, origin: now, originSrc: s.origin}
+	if s.onWrite != nil {
+		s.onWrite(key, it.Value, now)
+	}
 	return it, nil
+}
+
+// applyReplicated installs a cross-region replicated write without a
+// client round trip (the replicator already paid the WAN transfer and the
+// write units). Conflicts resolve last-writer-wins on the originating
+// write stamp, ties toward the lower source region; a duplicate or older
+// delivery is a no-op. writtenAt is the local apply time, so eventual
+// reads see the usual replication-lag window. Returns whether the item
+// was applied.
+func (s *Store) applyReplicated(now sim.Time, key string, value []byte, origin sim.Time, source int) bool {
+	sh := s.shardFor(key)
+	rec := sh.items[key]
+	var curVer int64
+	var prev *Item
+	if rec != nil {
+		if rec.origin > origin || (rec.origin == origin && rec.originSrc <= source) {
+			return false
+		}
+		curVer = rec.item.Version
+		prevCopy := rec.item
+		prev = &prevCopy
+	}
+	it := Item{Key: key, Value: append([]byte(nil), value...), Version: curVer + 1}
+	sh.items[key] = &record{item: it, prev: prev, writtenAt: now, origin: origin, originSrc: source}
+	return true
 }
 
 // Delete removes a key; deleting a missing key is not an error.

@@ -82,6 +82,40 @@ func BenchmarkFabricChurn(b *testing.B) {
 	}
 }
 
+// BenchmarkWANPartitionResolve measures a full partition/heal cycle on an
+// inter-region trunk carrying stalled-and-resumed flows — two incremental
+// component re-solves plus the stall bookkeeping. The allocs/op column is
+// gated at zero in CI: chaos injection must ride the same allocation-free
+// machinery as ordinary churn.
+func BenchmarkWANPartitionResolve(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	f := NewFabric(k)
+	trunk := f.NewLink("wan/0-1", Gbps(1))
+	src := f.NewLink("src-nic", Gbps(10))
+	dst := f.NewLink("dst-nic", Gbps(10))
+	for i := 0; i < 8; i++ {
+		f.TransferAsync(1e15, src, trunk, dst)
+	}
+	ran := false
+	k.Spawn("chaos", func(p *sim.Proc) {
+		// Warm scratch before the timer starts.
+		trunk.SetCapacity(f, 0)
+		trunk.SetCapacity(f, Gbps(1))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			trunk.SetCapacity(f, 0)
+			trunk.SetCapacity(f, Gbps(1))
+		}
+		ran = true
+	})
+	k.Run()
+	if !ran {
+		b.Fatal("chaos loop never ran")
+	}
+}
+
 // BenchmarkFabricRateProbe measures the read-only Rate probe against 20
 // concurrent flows. The probe water-fills hypothetically in scratch space;
 // its allocs/op column is gated at zero in CI.

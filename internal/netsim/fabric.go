@@ -72,9 +72,14 @@ func (l *Link) ActiveFlows() int { return len(l.flowIDs) }
 // SetCapacity changes the link's capacity; rates of in-flight flows are
 // re-derived immediately (used by ablations that upgrade NICs mid-run).
 // Only the link's connected component is re-solved.
+//
+// A capacity of zero severs the link: water-filling hands its flows a fair
+// share of zero, so they stall in place — remaining bytes frozen — until a
+// later SetCapacity restores service. This is the WAN-partition primitive:
+// a partition is one O(touched component) re-solve, not a topology rebuild.
 func (l *Link) SetCapacity(f *Fabric, c Bps) {
-	if c <= 0 {
-		panic("netsim: link capacity must be positive")
+	if c < 0 {
+		panic("netsim: link capacity must be non-negative")
 	}
 	l.capacity = c
 	f.seedLinks = append(f.seedLinks[:0], l)
@@ -304,13 +309,19 @@ func (f *Fabric) recomputeSeeded() {
 }
 
 // reschedule moves the completion timer to the earliest estimated flow
-// completion, and checks the no-starvation invariant.
+// completion, and checks the no-starvation invariant. Flows crossing a
+// severed (zero-capacity) link are stalled, not starved: they hold their
+// remaining bytes and schedule no completion; the heal's SetCapacity
+// re-solve puts them back in motion.
 func (f *Fabric) reschedule() {
 	var nextDone sim.Time = -1
 	now := f.k.Now()
 	for _, id := range f.order {
 		s := &f.flows[id]
 		if s.rate <= 0 {
+			if stalled(s.links) {
+				continue
+			}
 			panic(fmt.Sprintf("netsim: flow starved (links %v)", linkNames(s.links)))
 		}
 		finish := now + time.Duration(s.remaining/float64(s.rate)*float64(time.Second))
@@ -473,6 +484,17 @@ func (f *Fabric) solveComponent(seeds []*Link, probe []*Link) float64 {
 		}
 	}
 	return probeRate
+}
+
+// stalled reports whether any crossed link is severed (zero capacity) —
+// the one legitimate way for an active flow to sit at rate zero.
+func stalled(links []*Link) bool {
+	for _, l := range links {
+		if l.capacity <= 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // containsLink reports whether links holds l.

@@ -21,8 +21,8 @@ type refLink struct {
 }
 
 func (l *refLink) setCapacity(f *refFabric, c Bps) {
-	if c <= 0 {
-		panic("netsim: link capacity must be positive")
+	if c < 0 {
+		panic("netsim: link capacity must be non-negative")
 	}
 	l.capacity = c
 	f.recompute()
@@ -171,6 +171,12 @@ func (f *refFabric) recompute() {
 	for fl := range f.flows {
 		fl.rate = rates[fl]
 		if fl.rate <= 0 {
+			// Mirror the live solver's stall semantics: a flow crossing a
+			// severed (zero-capacity) link holds its bytes and schedules no
+			// completion.
+			if refStalled(fl.links) {
+				continue
+			}
 			panic(fmt.Sprintf("netsim: reference flow starved (%d links)", len(fl.links)))
 		}
 		finish := now + time.Duration(fl.remaining/float64(fl.rate)*float64(time.Second))
@@ -186,4 +192,13 @@ func (f *refFabric) recompute() {
 	} else {
 		f.completion.Stop()
 	}
+}
+
+func refStalled(links []*refLink) bool {
+	for _, l := range links {
+		if l.capacity <= 0 {
+			return true
+		}
+	}
+	return false
 }

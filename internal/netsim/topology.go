@@ -10,9 +10,10 @@ import (
 // Node is a network endpoint: a VM, a Lambda host, or a storage front end.
 // Each node owns a NIC link through which all of its bulk transfers pass.
 type Node struct {
-	id   string
-	rack int
-	nic  *Link
+	id     string
+	rack   int
+	region int
+	nic    *Link
 }
 
 // ID returns the node identifier.
@@ -20,6 +21,10 @@ func (n *Node) ID() string { return n.id }
 
 // Rack returns the rack the node lives in.
 func (n *Node) Rack() int { return n.rack }
+
+// Region returns the region the node lives in (0 unless the network was
+// switched to another build region before the node was created).
+func (n *Node) Region() int { return n.region }
 
 // NIC returns the node's network interface link.
 func (n *Node) NIC() *Link { return n.nic }
@@ -49,13 +54,23 @@ func DefaultLatency() LatencyProfile {
 	}
 }
 
-// Network combines a Fabric with node placement and latency classes.
+// Network combines a Fabric with node placement and latency classes. A
+// network starts as one region (region 0); see wan.go for the WAN tier —
+// ConnectRegions, partitions, and egress metering.
 type Network struct {
 	k       *sim.Kernel
 	fabric  *Fabric
 	rng     *simrand.RNG
 	latency LatencyProfile
 	nodes   map[string]*Node
+
+	// WAN tier state (wan.go): the region new nodes are placed in, the
+	// inter-region links keyed by ordered region pair, the highest region
+	// seen, and the per-message egress metering hook.
+	buildRegion int
+	wan         map[wanKey]*wanPair
+	maxRegion   int
+	egress      func(bytes int64)
 }
 
 // NewNetwork creates a network on kernel k with deterministic jitter drawn
@@ -82,7 +97,7 @@ func (n *Network) NewNode(id string, rack int, nicCapacity Bps) *Node {
 	if _, dup := n.nodes[id]; dup {
 		panic("netsim: duplicate node id " + id)
 	}
-	node := &Node{id: id, rack: rack, nic: n.fabric.NewLink(id+"/nic", nicCapacity)}
+	node := &Node{id: id, rack: rack, region: n.buildRegion, nic: n.fabric.NewLink(id+"/nic", nicCapacity)}
 	n.nodes[id] = node
 	return node
 }
@@ -91,10 +106,14 @@ func (n *Network) NewNode(id string, rack int, nicCapacity Bps) *Node {
 func (n *Network) Node(id string) *Node { return n.nodes[id] }
 
 // OneWayDelay samples the propagation delay for a message from src to dst.
+// Cross-region delay is the pair's WAN distribution; the regions must have
+// been joined with ConnectRegions.
 func (n *Network) OneWayDelay(src, dst *Node) time.Duration {
 	switch {
 	case src == dst:
 		return n.latency.SameHost.Sample(n.rng)
+	case src.region != dst.region:
+		return n.wanPairOf(src.region, dst.region).lat.Sample(n.rng)
 	case src.rack == dst.rack:
 		return n.latency.SameRack.Sample(n.rng)
 	default:
@@ -111,6 +130,18 @@ func (n *Network) Send(p *sim.Proc, src, dst *Node, size int64, extra ...*Link) 
 	if size <= 0 {
 		return
 	}
-	links := append([]*Link{src.nic, dst.nic}, extra...)
+	var links []*Link
+	if src.region != dst.region {
+		// Cross-region bytes also squeeze through the shared inter-region
+		// trunk and are metered as egress.
+		pair := n.wanPairOf(src.region, dst.region)
+		pair.bytes += size
+		if n.egress != nil {
+			n.egress(size)
+		}
+		links = append([]*Link{src.nic, pair.link, dst.nic}, extra...)
+	} else {
+		links = append([]*Link{src.nic, dst.nic}, extra...)
+	}
 	n.fabric.Transfer(p, size, links...)
 }

@@ -1,0 +1,171 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// TestSolverEquivalenceWAN extends the PR 5 randomized equivalence property
+// to WAN topologies: random region trees whose trunks carry multi-hop
+// cross-region transfers, under capacity churn AND capacity-zero events
+// (partitions) with later heals. The flat incremental engine and the
+// retained map-based reference must agree on per-link rate sums at every
+// step — including while flows are stalled at rate zero behind a severed
+// trunk — and on the exact virtual nanosecond every flow completes after
+// the final heal.
+func TestSolverEquivalenceWAN(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := simrand.New(seed)
+
+		kNew := sim.NewKernel()
+		kRef := sim.NewKernel()
+		fNew := NewFabric(kNew)
+		fRef := newRefFabric(kRef)
+
+		// Random region tree: region r > 0 hangs off parent[r] via trunk r.
+		regions := rng.Intn(3) + 2
+		parent := make([]int, regions)
+		depth := make([]int, regions)
+		trunkNew := make([]*Link, regions)
+		trunkRef := make([]*refLink, regions)
+		trunkCap := make([]Bps, regions)
+		severed := make([]bool, regions)
+		for r := 1; r < regions; r++ {
+			parent[r] = rng.Intn(r)
+			depth[r] = depth[parent[r]] + 1
+			c := Mbps(float64(rng.Intn(900) + 100))
+			trunkCap[r] = c
+			trunkNew[r] = fNew.NewLink("wan", c)
+			trunkRef[r] = fRef.newLink("wan", c)
+		}
+		perRegion := rng.Intn(2) + 2
+		nicNew := make([][]*Link, regions)
+		nicRef := make([][]*refLink, regions)
+		for r := 0; r < regions; r++ {
+			for j := 0; j < perRegion; j++ {
+				c := MBps(float64(rng.Intn(900)+100) / 10)
+				nicNew[r] = append(nicNew[r], fNew.NewLink("nic", c))
+				nicRef[r] = append(nicRef[r], fRef.newLink("nic", c))
+			}
+		}
+		var allNew []*Link
+		var allRef []*refLink
+		for r := 0; r < regions; r++ {
+			allNew = append(allNew, nicNew[r]...)
+			allRef = append(allRef, nicRef[r]...)
+		}
+		allNew = append(allNew, trunkNew[1:]...)
+		allRef = append(allRef, trunkRef[1:]...)
+
+		// treeEdges returns the child-region indices of the tree edges on
+		// the path between regions a and b.
+		treeEdges := func(a, b int) []int {
+			var edges []int
+			for a != b {
+				if depth[a] >= depth[b] {
+					edges = append(edges, a)
+					a = parent[a]
+				} else {
+					edges = append(edges, b)
+					b = parent[b]
+				}
+			}
+			return edges
+		}
+
+		type done struct{ newAt, refAt sim.Time }
+		var flows []*done
+		watch := func(d *done, lNew, lRef *sim.Latch) {
+			kNew.Spawn("w", func(p *sim.Proc) { lNew.Wait(p); d.newAt = p.Now() })
+			kRef.Spawn("w", func(p *sim.Proc) { lRef.Wait(p); d.refAt = p.Now() })
+		}
+
+		now := sim.Time(0)
+		steps := rng.Intn(40) + 20
+		for step := 0; step < steps; step++ {
+			now += time.Duration(rng.Intn(200)+1) * time.Millisecond
+			kNew.RunUntil(now)
+			kRef.RunUntil(now)
+			switch op := rng.Intn(10); {
+			case op < 6: // transfer between two endpoints, trunk path included
+				a, b := rng.Intn(regions), rng.Intn(regions)
+				sn, dn := rng.Intn(perRegion), rng.Intn(perRegion)
+				if a == b && sn == dn {
+					dn = (dn + 1) % perRegion
+				}
+				ln := []*Link{nicNew[a][sn]}
+				lr := []*refLink{nicRef[a][sn]}
+				for _, e := range treeEdges(a, b) {
+					ln = append(ln, trunkNew[e])
+					lr = append(lr, trunkRef[e])
+				}
+				ln = append(ln, nicNew[b][dn])
+				lr = append(lr, nicRef[b][dn])
+				size := int64(rng.Intn(100)+1) * 1e6
+				d := &done{}
+				flows = append(flows, d)
+				watch(d, fNew.TransferAsync(size, ln...), fRef.transferAsync(size, lr...))
+			case op < 8: // capacity change on a random endpoint NIC
+				r, j := rng.Intn(regions), rng.Intn(perRegion)
+				c := MBps(float64(rng.Intn(900)+100) / 10)
+				nicNew[r][j].SetCapacity(fNew, c)
+				nicRef[r][j].setCapacity(fRef, c)
+			default: // partition or heal a random trunk
+				r := rng.Intn(regions-1) + 1
+				if severed[r] {
+					severed[r] = false
+					trunkNew[r].SetCapacity(fNew, trunkCap[r])
+					trunkRef[r].setCapacity(fRef, trunkCap[r])
+				} else {
+					severed[r] = true
+					trunkNew[r].SetCapacity(fNew, 0)
+					trunkRef[r].setCapacity(fRef, 0)
+				}
+			}
+			refRates := fRef.solve()
+			for i, l := range allNew {
+				var sumNew, sumRef float64
+				for _, id := range l.flowIDs {
+					sumNew += float64(fNew.flows[id].rate)
+				}
+				for fl := range allRef[i].flows {
+					sumRef += float64(refRates[fl])
+				}
+				if !almostEqual(sumNew, sumRef, 1e-9) {
+					t.Fatalf("seed %d step %d: link %d rate sum %.9g (incremental) vs %.9g (reference)",
+						seed, step, i, sumNew, sumRef)
+				}
+			}
+			if fNew.InFlight() != len(fRef.flows) {
+				t.Fatalf("seed %d step %d: in-flight %d vs %d", seed, step, fNew.InFlight(), len(fRef.flows))
+			}
+		}
+		// Heal every severed trunk so stalled flows can drain, then run both
+		// worlds dry: completion times must match to the nanosecond.
+		now += time.Millisecond
+		kNew.RunUntil(now)
+		kRef.RunUntil(now)
+		for r := 1; r < regions; r++ {
+			if severed[r] {
+				trunkNew[r].SetCapacity(fNew, trunkCap[r])
+				trunkRef[r].setCapacity(fRef, trunkCap[r])
+			}
+		}
+		kNew.Run()
+		kRef.Run()
+		for i, d := range flows {
+			if d.newAt != d.refAt {
+				t.Fatalf("seed %d: flow %d completed at %v (incremental) vs %v (reference)",
+					seed, i, d.newAt, d.refAt)
+			}
+			if d.newAt == 0 {
+				t.Fatalf("seed %d: flow %d never completed", seed, i)
+			}
+		}
+		kNew.Close()
+		kRef.Close()
+	}
+}

@@ -68,6 +68,11 @@ type Catalog struct {
 	// the keep-state price the paper's §4 "fluid" platform would pay for
 	// holding lattice state next to functions instead of in DynamoDB.
 	CacheGBSecond USD
+
+	// WANEgressPerGB prices inter-region data transfer per GB (Fall 2018
+	// us-east-1 → us-west-2: $0.02/GB). Every byte that crosses a WAN
+	// trunk — gossip, kvstore replication, cross-region requests — pays it.
+	WANEgressPerGB USD
 }
 
 // Fall2018 returns the us-east-1 catalog for the paper's measurement period.
@@ -88,6 +93,7 @@ func Fall2018() *Catalog {
 		DynamoWCUHour:      0.00065,
 		SQSPerRequest:      0.40 / 1e6,
 		CacheGBSecond:      0.02 / 3600,
+		WANEgressPerGB:     0.02,
 	}
 }
 

@@ -193,14 +193,16 @@ func (e *entry) merge(other *entry) int64 {
 // exchange by default, IBF summary under Config.Reconcile), then — when
 // the pair actually differs — a pull response and a push so the pair is
 // identical at round end. A round counts as complete only when every leg
-// delivered and merged; a participant detaching mid-flight aborts the
-// round into AbortedRounds instead.
+// delivered and merged; a participant detaching mid-flight — or a WAN
+// partition swallowing any leg — aborts the round into AbortedRounds
+// instead, leaving both sides' state merely unconverged, never wrong.
 func (c *Cache) gossipOnce(p *sim.Proc) {
 	peer := c.pickPeer()
 	if peer == nil {
 		return
 	}
 	cl := c.cl
+	cl.startedRounds++
 	var diff []string
 	var extraResp int64
 	var aborted bool
@@ -223,8 +225,7 @@ func (c *Cache) gossipOnce(p *sim.Proc) {
 			}
 		}
 		cl.bytesPayload += resp
-		cl.net.Send(p, peer.node, c.node, resp)
-		if c.detached {
+		if !cl.net.SendMsg(p, peer.node, c.node, resp) || c.detached {
 			cl.abortedRounds++
 			return
 		}
@@ -239,8 +240,7 @@ func (c *Cache) gossipOnce(p *sim.Proc) {
 			}
 		}
 		cl.bytesPush += push
-		cl.net.Send(p, c.node, peer.node, push)
-		if peer.detached {
+		if !cl.net.SendMsg(p, c.node, peer.node, push) || peer.detached {
 			cl.abortedRounds++
 			return
 		}
@@ -259,15 +259,16 @@ func (c *Cache) digestDiff(p *sim.Proc, peer *Cache) (diff []string, aborted boo
 	digest := int64(cl.cfg.MessageOverheadBytes) +
 		c.keyBytes + int64(len(c.keys)*cl.cfg.DigestBytesPerKey)
 	cl.bytesSummary += digest
-	cl.net.Send(p, c.node, peer.node, digest)
-	if peer.detached {
-		return nil, true // reclaimed while the digest was in flight
+	if !cl.net.SendMsg(p, c.node, peer.node, digest) || peer.detached {
+		return nil, true // lost to a partition, or reclaimed in flight
 	}
 	return diffKeys(c, peer), false
 }
 
 // pickPeer selects one uniformly random gossip partner, honoring the
-// cluster's partition hook. It returns nil when no peer is reachable.
+// cluster's partition hook and WAN reachability (a replica behind a
+// severed trunk is not a candidate, so partitioned halves keep converging
+// internally). It returns nil when no peer is reachable.
 func (c *Cache) pickPeer() *Cache {
 	cl := c.cl
 	candidates := c.candScratch[:0]
@@ -277,6 +278,9 @@ func (c *Cache) pickPeer() *Cache {
 			continue
 		}
 		if cl.partition != nil && cl.partition(c.node, cand.node) {
+			continue
+		}
+		if !cl.net.Reachable(c.node, cand.node) {
 			continue
 		}
 		candidates = append(candidates, cand)

@@ -148,8 +148,7 @@ func (c *Cache) reconDiff(p *sim.Proc, peer *Cache) (diff []string, extraResp in
 	cl := c.cl
 	size := int64(cl.cfg.MessageOverheadBytes) + c.rc.live.WireBytes()
 	cl.bytesSummary += size
-	cl.net.Send(p, c.node, peer.node, size)
-	if peer.detached {
+	if !cl.net.SendMsg(p, c.node, peer.node, size) || peer.detached {
 		return nil, 0, true
 	}
 	c.settleRecon()
@@ -160,8 +159,7 @@ func (c *Cache) reconDiff(p *sim.Proc, peer *Cache) (diff []string, extraResp in
 	for mult := 2; mult <= 4; mult *= 2 {
 		nack := int64(cl.cfg.MessageOverheadBytes)
 		cl.bytesSummary += nack
-		cl.net.Send(p, peer.node, c.node, nack)
-		if c.detached {
+		if !cl.net.SendMsg(p, peer.node, c.node, nack) || c.detached {
 			return nil, 0, true
 		}
 		// Each side settles and rebuilds at its own send/decode instant:
@@ -172,8 +170,7 @@ func (c *Cache) reconDiff(p *sim.Proc, peer *Cache) (diff []string, extraResp in
 		fc := c.rebuildFilter(mult * cl.cfg.ReconCells)
 		size := int64(cl.cfg.MessageOverheadBytes) + fc.WireBytes()
 		cl.bytesSummary += size
-		cl.net.Send(p, c.node, peer.node, size)
-		if peer.detached {
+		if !cl.net.SendMsg(p, c.node, peer.node, size) || peer.detached {
 			return nil, 0, true
 		}
 		peer.settleRecon()
@@ -184,8 +181,7 @@ func (c *Cache) reconDiff(p *sim.Proc, peer *Cache) (diff []string, extraResp in
 	}
 	nack := int64(cl.cfg.MessageOverheadBytes)
 	cl.bytesSummary += nack
-	cl.net.Send(p, peer.node, c.node, nack)
-	if c.detached {
+	if !cl.net.SendMsg(p, peer.node, c.node, nack) || c.detached {
 		return nil, 0, true
 	}
 	d, ab := c.digestDiff(p, peer)

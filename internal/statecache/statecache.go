@@ -98,6 +98,11 @@ func DefaultConfig() Config {
 	}
 }
 
+// errUnreachable marks a flush attempt made while the backing store sits
+// across a severed WAN trunk; the caller re-marks the key dirty and
+// retries after the heal.
+var errUnreachable = errors.New("statecache: backing store unreachable")
+
 // Kind identifies which lattice an entry holds.
 type Kind uint8
 
@@ -152,6 +157,7 @@ type Cluster struct {
 	since sim.Time
 
 	nextID        int
+	startedRounds int64
 	gossipRounds  int64
 	abortedRounds int64
 	flushWrites   int64
@@ -278,7 +284,16 @@ func (cl *Cluster) Detach(node *netsim.Node) {
 	cl.addBytes(-c.bytes)
 	if len(c.dirty) > 0 {
 		cl.net.Kernel().Spawn("statecache-drain/"+c.replica, func(p *sim.Proc) {
-			c.flushDirty(p)
+			for {
+				c.flushDirty(p)
+				if len(c.dirty) == 0 {
+					return
+				}
+				// The backing store is on the far side of a partition (or a
+				// mutation re-dirtied a key mid-drain): hold the deltas and
+				// retry after a flush interval rather than dropping them.
+				p.Sleep(cl.cfg.FlushInterval)
+			}
 		})
 	}
 }
@@ -308,9 +323,15 @@ func (cl *Cluster) CachedBytes() int64 { return cl.bytes }
 // mid-flight are counted by AbortedRounds instead.
 func (cl *Cluster) GossipRounds() int64 { return cl.gossipRounds }
 
-// AbortedRounds reports how many gossip rounds were cut short at any leg
-// by a participant detaching while a message was in flight.
+// AbortedRounds reports how many gossip rounds were cut short at any leg —
+// a participant detaching while a message was in flight, or a WAN
+// partition severing the leg's trunk.
 func (cl *Cluster) AbortedRounds() int64 { return cl.abortedRounds }
+
+// StartedRounds reports how many gossip rounds found a live, reachable
+// peer and began exchanging messages. Every started round is accounted
+// for: at quiescence StartedRounds() == GossipRounds() + AbortedRounds().
+func (cl *Cluster) StartedRounds() int64 { return cl.startedRounds }
 
 // GossipTraffic is a cluster's cumulative gossip byte breakdown. Summary
 // covers the reconciliation control legs — per-key digests under the
@@ -704,7 +725,12 @@ func (c *Cache) flushDirty(p *sim.Proc) {
 	// flushKey parks, and a drain process spawned by Detach can call
 	// flushDirty on this replica while the periodic flusher is still
 	// parked mid-iteration — the second caller must not rewrite the
-	// buffer under the first (it allocates its own instead).
+	// buffer under the first (it allocates its own instead). The scratch
+	// is restored at the normal exits only, NOT via defer: a kernel Close
+	// panic-unwinds every parked proc, and the periodic flusher and a
+	// drain proc can both be parked inside flushKey — two concurrently
+	// unwinding deferred restores would race on the field. Losing the
+	// scratch on unwind is free; the cache is being torn down.
 	keys := c.flushScratch[:0]
 	c.flushScratch = nil
 	for _, k := range c.keys {
@@ -712,13 +738,22 @@ func (c *Cache) flushDirty(p *sim.Proc) {
 			keys = append(keys, k)
 		}
 	}
-	defer func() { c.flushScratch = keys }()
 	for _, key := range keys {
 		delete(c.dirty, key)
 		if err := c.flushKey(p, key); err != nil {
+			if errors.Is(err, errUnreachable) {
+				// The store sits across a severed WAN trunk. Re-mark the
+				// key and stop the cycle: the deltas stay resident (and
+				// billed) until a later cycle finds the trunk healed, so a
+				// partition can delay a write-behind flush but never lose
+				// or double-apply it.
+				c.dirty[key] = true
+				break
+			}
 			panic("statecache: flush: " + err.Error())
 		}
 	}
+	c.flushScratch = keys
 }
 
 // Value is a decoded stored entry: the read surface for consumers pulling
@@ -779,6 +814,9 @@ func (c *Cache) flushKey(p *sim.Proc, key string) error {
 	e := c.entries[key]
 	if e == nil {
 		return nil
+	}
+	if !c.cl.net.Reachable(c.node, c.cl.store.Node()) {
+		return errUnreachable
 	}
 	c.fresh(key, e)
 	storeKey := c.cl.name + "/" + key
