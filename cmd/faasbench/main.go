@@ -55,6 +55,8 @@ func main() {
 		"inject the regionfailover experiment's faults (false = healthy control rows only)")
 	regions := flag.Int("regions", 0,
 		"override the regionfailover experiment's region count (0 = default of 2)")
+	policy := flag.String("policy", "all",
+		"restrict the retrystorm experiment to one client policy (no-retry, naive-retry, full-policy, full+hedge, or all)")
 	flag.Parse()
 	sweep.SetWorkers(*workers)
 	core.SetSketchStats(*sketch)
@@ -63,6 +65,20 @@ func main() {
 	core.SetReconGossip(*recon)
 	core.SetChaos(*chaosOn)
 	core.SetRegions(*regions)
+	if *policy != "" && *policy != "all" {
+		known := false
+		for _, name := range core.PolicyNames() {
+			if name == *policy {
+				known = true
+			}
+		}
+		if !known {
+			fmt.Fprintf(os.Stderr, "faasbench: unknown -policy %q (want one of %v, or all)\n",
+				*policy, core.PolicyNames())
+			os.Exit(2)
+		}
+	}
+	core.SetPolicy(*policy)
 
 	if *list {
 		for _, e := range core.Experiments() {

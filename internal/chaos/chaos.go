@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/faas"
 	"repro/internal/netsim"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/simrand"
 )
@@ -89,6 +90,20 @@ func (e *Engine) SlowNodeAt(pf *faas.Platform, node *netsim.Node, factor float64
 		p.Sleep(dur)
 		pf.SetComputeSlowdown(node, 1)
 		e.log(p, "restore %s", node.ID())
+	})
+}
+
+// SlowFrontendAt multiplies a service front end's service times by
+// `factor` (>1 = slower) from `at` until `at+dur`, then restores full
+// speed — a degraded storage shard, the trigger for a retry storm.
+func (e *Engine) SlowFrontendAt(fe *service.Frontend, factor float64, at, dur time.Duration) {
+	e.spawn("slow-frontend", func(p *sim.Proc) {
+		p.Sleep(at)
+		fe.SetSlowdown(factor)
+		e.log(p, "slow frontend %s ×%g", fe.Name(), factor)
+		p.Sleep(dur)
+		fe.SetSlowdown(1)
+		e.log(p, "restore frontend %s", fe.Name())
 	})
 }
 

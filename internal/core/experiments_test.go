@@ -54,8 +54,8 @@ func within(t *testing.T, what string, got time.Duration, lo, hi time.Duration) 
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Errorf("registry has %d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Errorf("registry has %d experiments, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

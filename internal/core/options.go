@@ -19,6 +19,7 @@ var (
 	optRecon      atomic.Bool
 	optNoChaos    atomic.Bool
 	optRegions    atomic.Int64
+	optPolicy     atomic.Value // string
 )
 
 // SetSketchStats switches experiment summaries between the exact Recorder
@@ -48,13 +49,23 @@ func SetChaos(on bool) { optNoChaos.Store(!on) }
 // (0 restores the default of 2).
 func SetRegions(n int) { optRegions.Store(int64(n)) }
 
+// SetPolicy restricts the retrystorm experiment to one client policy
+// variant by name ("" or "all" runs the whole sweep; see PolicyNames).
+func SetPolicy(name string) { optPolicy.Store(name) }
+
 // newSummary builds the latency summary every experiment records into,
 // honoring the -sketch switch.
 func newSummary(name string) stats.Summary {
 	return stats.NewSummary(name, optSketch.Load())
 }
 
-func sketchStats() bool    { return optSketch.Load() }
+func sketchStats() bool { return optSketch.Load() }
+
+// configuredPolicy returns the -policy override ("" = run every variant).
+func configuredPolicy() string {
+	s, _ := optPolicy.Load().(string)
+	return s
+}
 func populationLoad() bool { return optPopulation.Load() }
 func reconGossip() bool    { return optRecon.Load() }
 func chaosEnabled() bool   { return !optNoChaos.Load() }

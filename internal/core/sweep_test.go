@@ -16,7 +16,7 @@ import (
 var sweepFamilies = []string{
 	"regionscale", "faasscale", "statecache",
 	"electionsweep", "election", "firecracker", "autoscale",
-	"regionfailover",
+	"regionfailover", "retrystorm",
 }
 
 // renderAll renders an experiment's tables into one string.

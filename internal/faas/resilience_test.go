@@ -1,0 +1,115 @@
+package faas
+
+// The faas wiring for the resilience layer: a resilience.Client wraps
+// Invoke like any other operation, so invocations get deadlines, retries,
+// and hedging with no platform changes. These tests pin the economics of
+// that composition — an abandoned or losing invocation keeps executing and
+// keeps billing, which is what makes impatient callers expensive.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/resilience"
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+func TestResilienceDeadlineAbandonsInvokeButStillBills(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	f.pf.Register(Function{Name: "slow", MemoryMB: 1024, Handler: func(ctx *Ctx, payload []byte) ([]byte, error) {
+		ctx.Proc().Sleep(2 * time.Second)
+		return []byte("late"), nil
+	}})
+	rc := resilience.NewClient(f.k, simrand.New(5), resilience.Config{Deadline: 500 * time.Millisecond})
+	var err error
+	k := f.k
+	k.Spawn("client", func(p *sim.Proc) {
+		err = rc.Do(p, -1, func(q *sim.Proc) error {
+			_, _, e := f.pf.Invoke(q, "slow", nil)
+			return e
+		})
+	})
+	k.Run()
+	if !errors.Is(err, resilience.ErrDeadline) {
+		t.Fatalf("Do = %v, want ErrDeadline", err)
+	}
+	// The abandoned invocation ran to completion after the caller gave up:
+	// one full request charge and ≥ 2s of billed GB-seconds.
+	if got := f.meter.Count("lambda.request"); got != 1 {
+		t.Errorf("lambda.request count = %d, want 1", got)
+	}
+	if st, _ := f.pf.Stats("slow"); st.Invocations != 1 || st.TotalTime < 2*time.Second {
+		t.Errorf("stats = %+v, want 1 completed 2s invocation (abandoned invoke still finishes)", st)
+	}
+	if cost := f.meter.Cost("lambda.gbsec"); cost <= 0 {
+		t.Errorf("gbsec cost = %v, want > 0 (loser is billed)", cost)
+	}
+}
+
+func TestResilienceHedgedInvokeBillsBothAttempts(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	// First invocation cold-starts (slow); the hedge finds the platform
+	// with a second cold start too, but a constant handler sleep keeps
+	// both deterministic. The hedge launches at 400ms; whichever attempt
+	// completes first wins, and both bill.
+	f.pf.Register(Function{Name: "fn", MemoryMB: 1024, Handler: func(ctx *Ctx, payload []byte) ([]byte, error) {
+		ctx.Proc().Sleep(time.Second)
+		return []byte("ok"), nil
+	}})
+	rc := resilience.NewClient(f.k, simrand.New(5), resilience.Config{HedgeAfter: 400 * time.Millisecond})
+	var err error
+	f.k.Spawn("client", func(p *sim.Proc) {
+		err = rc.Do(p, -1, func(q *sim.Proc) error {
+			_, _, e := f.pf.Invoke(q, "fn", nil)
+			return e
+		})
+	})
+	f.k.Run()
+	if err != nil {
+		t.Fatalf("Do = %v, want nil", err)
+	}
+	if got := rc.Stats().Hedges; got != 1 {
+		t.Fatalf("Hedges = %d, want 1", got)
+	}
+	if got := f.meter.Count("lambda.request"); got != 2 {
+		t.Errorf("lambda.request count = %d, want 2 (hedge loser billed)", got)
+	}
+	if st, _ := f.pf.Stats("fn"); st.Invocations != 2 {
+		t.Errorf("invocations = %d, want both attempts to finish", st.Invocations)
+	}
+}
+
+func TestResilienceRetriesInvokeFailure(t *testing.T) {
+	f := newFixture(t, DefaultConfig())
+	calls := 0
+	f.pf.Register(Function{Name: "flaky", MemoryMB: 512, Handler: func(ctx *Ctx, payload []byte) ([]byte, error) {
+		calls++
+		if calls < 3 {
+			return nil, errors.New("transient")
+		}
+		return []byte("ok"), nil
+	}})
+	rc := resilience.NewClient(f.k, simrand.New(5), resilience.Config{
+		Attempts:    4,
+		BaseBackoff: 50 * time.Millisecond,
+	})
+	var err error
+	f.k.Spawn("client", func(p *sim.Proc) {
+		err = rc.Do(p, -1, func(q *sim.Proc) error {
+			_, _, e := f.pf.Invoke(q, "flaky", nil)
+			return e
+		})
+	})
+	f.k.Run()
+	if err != nil {
+		t.Fatalf("Do = %v, want success on the third attempt", err)
+	}
+	if calls != 3 {
+		t.Errorf("handler ran %d times, want 3", calls)
+	}
+	if got := rc.Stats().Retries; got != 2 {
+		t.Errorf("Retries = %d, want 2", got)
+	}
+}

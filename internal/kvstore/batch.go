@@ -49,7 +49,11 @@ func (s *Store) BatchGet(p *sim.Proc, caller *netsim.Node, keys []string, consis
 			continue
 		}
 		sh := s.shards[i]
-		sh.fe.RoundTrip(p, caller, 0)
+		if err := sh.fe.RoundTripErr(p, caller, 0); err != nil {
+			// A rejected shard fails the whole batch (the items already read
+			// from earlier shards are discarded, like a failed BatchGetItem).
+			return nil, err
+		}
 		var units int64
 		for _, key := range shardKeys {
 			rec, ok := sh.items[key]
@@ -105,7 +109,11 @@ func (s *Store) BatchWrite(p *sim.Proc, caller *netsim.Node, items map[string][]
 			continue
 		}
 		sh := s.shards[i]
-		sh.fe.RoundTrip(p, caller, 0)
+		if err := sh.fe.RoundTripErr(p, caller, 0); err != nil {
+			// Writes to earlier shards stand (a partial batch, like DynamoDB's
+			// UnprocessedItems); the caller sees the admission error.
+			return out, err
+		}
 		for k, v := range shardItems {
 			size := int64(len(k) + len(v))
 			sh.fe.Charge("dynamodb.write", pricing.DynamoWriteUnits(size),
@@ -135,7 +143,9 @@ func (s *Store) BatchWrite(p *sim.Proc, caller *netsim.Node, items map[string][]
 // now. Expired items behave as deleted on read and are reaped lazily.
 func (s *Store) SetTTL(p *sim.Proc, caller *netsim.Node, key string, d time.Duration) error {
 	sh := s.shardFor(key)
-	sh.fe.RoundTrip(p, caller, 0)
+	if err := sh.fe.RoundTripErr(p, caller, 0); err != nil {
+		return err
+	}
 	rec, ok := sh.items[key]
 	if !ok {
 		return ErrNotFound

@@ -218,18 +218,40 @@ func (gt *GlobalTable) StoreIn(region int) *Store {
 }
 
 // Nearest returns the replica a client node should talk to: the one in its
-// own region when present, otherwise the first reachable replica in slot
-// order. ok is false when no replica is reachable.
+// own region when present, otherwise the reachable replica with the lowest
+// measured trunk RTT from the client's region (see
+// netsim.MeasuredTrunkRTT — passively observed from real traffic, the way
+// latency-based DNS routing measures rather than assumes). Replicas over
+// never-measured trunks rank after measured ones, in slot order, so a cold
+// table degrades to the old declaration-order behavior. ok is false when
+// no replica is reachable.
 func (gt *GlobalTable) Nearest(client *netsim.Node) (st *Store, ok bool) {
 	if local := gt.StoreIn(client.Region()); local != nil {
 		return local, true
 	}
+	bestSlot := -1
+	var bestRTT time.Duration
+	bestMeasured := false
 	for slot := range gt.stores {
-		if gt.net.Reachable(client, gt.agents[slot]) {
-			return gt.stores[slot], true
+		if !gt.net.Reachable(client, gt.agents[slot]) {
+			continue
 		}
+		rtt, measured := gt.net.MeasuredTrunkRTT(client.Region(), gt.regions[slot])
+		switch {
+		case bestSlot < 0:
+			// First reachable replica: take it as the baseline.
+		case measured && !bestMeasured:
+			// A measured path beats any unmeasured guess.
+		case measured && bestMeasured && rtt < bestRTT:
+		default:
+			continue
+		}
+		bestSlot, bestRTT, bestMeasured = slot, rtt, measured
 	}
-	return nil, false
+	if bestSlot < 0 {
+		return nil, false
+	}
+	return gt.stores[bestSlot], true
 }
 
 // PendingWrites reports how many deduplicated writes are queued for

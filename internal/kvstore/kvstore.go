@@ -165,7 +165,9 @@ func (s *Store) Node() *netsim.Node { return s.shards[0].fe.Node() }
 // read units (half units for eventual reads).
 func (s *Store) Get(p *sim.Proc, caller *netsim.Node, key string, consistent bool) (Item, error) {
 	sh := s.shardFor(key)
-	sh.fe.RoundTrip(p, caller, 0)
+	if err := sh.fe.RoundTripErr(p, caller, 0); err != nil {
+		return Item{}, err
+	}
 	rec, ok := sh.items[key]
 	if ok && s.expired(sh, p.Now(), rec) {
 		ok = false
@@ -240,7 +242,9 @@ func (s *Store) write(p *sim.Proc, caller *netsim.Node, key string,
 		return Item{}, ErrItemTooLarge
 	}
 	sh := s.shardFor(key)
-	sh.fe.RoundTrip(p, caller, 0)
+	if err := sh.fe.RoundTripErr(p, caller, 0); err != nil {
+		return Item{}, err
+	}
 	size := int64(len(key) + len(value))
 	sh.fe.Charge("dynamodb.write", pricing.DynamoWriteUnits(size),
 		sh.fe.Catalog().DynamoWritePerUnit)
@@ -292,7 +296,10 @@ func (s *Store) applyReplicated(now sim.Time, key string, value []byte, origin s
 	return true
 }
 
-// Delete removes a key; deleting a missing key is not an error.
+// Delete removes a key; deleting a missing key is not an error. Delete and
+// Scan stay on the void RoundTrip path: they are control-plane operations
+// in every experiment, so an admission-controlled table that sheds them
+// would panic loudly rather than silently drop a delete.
 func (s *Store) Delete(p *sim.Proc, caller *netsim.Node, key string) {
 	sh := s.shardFor(key)
 	sh.fe.RoundTrip(p, caller, 0)

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/service"
 )
 
 // fnv1a64 hashes key with the 64-bit FNV-1a function.
@@ -44,6 +45,20 @@ func (s *Store) ShardFor(key string) int {
 
 // ShardNode returns partition i's network endpoint.
 func (s *Store) ShardNode(i int) *netsim.Node { return s.shards[i].fe.Node() }
+
+// ShardFrontend returns partition i's service front end, the handle for
+// admission control (SetAdmission) and chaos injection (SlowFrontendAt) on
+// a single hot shard.
+func (s *Store) ShardFrontend(i int) *service.Frontend { return s.shards[i].fe }
+
+// SetAdmission applies one admission-control configuration to every
+// shard's front end (callers reaching a sharded table spread over all of
+// them; per-shard control is available via ShardFrontend).
+func (s *Store) SetAdmission(cfg service.AdmissionConfig) {
+	for _, sh := range s.shards {
+		sh.fe.SetAdmission(cfg)
+	}
+}
 
 // ShardStat summarizes one partition's traffic — the hot-shard surface a
 // region operator would watch.

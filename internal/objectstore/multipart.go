@@ -30,7 +30,9 @@ func (s *Store) GetRange(p *sim.Proc, caller *netsim.Node, key string, offset, l
 		return Object{}, ErrBadRange
 	}
 	s.fe.Charge("s3.get", 1, s.fe.Catalog().S3GetPerRequest)
-	s.fe.RoundTrip(p, caller, 0)
+	if err := s.fe.RoundTripErr(p, caller, 0); err != nil {
+		return Object{}, err
+	}
 	obj, ok := s.visible(p.Now(), key)
 	if !ok {
 		return Object{}, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -85,7 +87,9 @@ func (s *Store) UploadPart(p *sim.Proc, caller *netsim.Node, u *Upload, partNum 
 		return fmt.Errorf("%w: got part %d, want %d", ErrPartOutOfOrder, partNum, len(u.parts)+1)
 	}
 	s.fe.Charge("s3.put", 1, s.fe.Catalog().S3PutPerRequest)
-	s.fe.RoundTrip(p, caller, 0)
+	if err := s.fe.RoundTripErr(p, caller, 0); err != nil {
+		return err
+	}
 	s.stream(p, caller, size)
 	u.parts = append(u.parts, size)
 	return nil
@@ -101,7 +105,9 @@ func (s *Store) CompleteUpload(p *sim.Proc, caller *netsim.Node, u *Upload) (Obj
 		return Object{}, ErrUploadCompleted
 	}
 	s.fe.Charge("s3.put", 1, s.fe.Catalog().S3PutPerRequest)
-	s.fe.RoundTrip(p, caller, 0)
+	if err := s.fe.RoundTripErr(p, caller, 0); err != nil {
+		return Object{}, err
+	}
 	var total int64
 	for _, sz := range u.parts {
 		total += sz
@@ -124,7 +130,9 @@ func (s *Store) AbortUpload(p *sim.Proc, caller *netsim.Node, u *Upload) error {
 		return ErrUploadNotFound
 	}
 	s.fe.Charge("s3.put", 1, s.fe.Catalog().S3PutPerRequest)
-	s.fe.RoundTrip(p, caller, 0)
+	if err := s.fe.RoundTripErr(p, caller, 0); err != nil {
+		return err
+	}
 	u.completed = true
 	delete(s.uploads, u.id)
 	return nil

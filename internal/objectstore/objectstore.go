@@ -150,7 +150,9 @@ func (s *Store) put(p *sim.Proc, caller *netsim.Node, key string, size int64, da
 // previous version.
 func (s *Store) Get(p *sim.Proc, caller *netsim.Node, key string) (Object, error) {
 	s.fe.Charge("s3.get", 1, s.fe.Catalog().S3GetPerRequest)
-	s.fe.RoundTrip(p, caller, 0)
+	if err := s.fe.RoundTripErr(p, caller, 0); err != nil {
+		return Object{}, err
+	}
 	obj, ok := s.visible(p.Now(), key)
 	if !ok {
 		return Object{}, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -182,7 +184,9 @@ func (s *Store) visible(now sim.Time, key string) (Object, bool) {
 // Head returns object metadata without transferring the payload.
 func (s *Store) Head(p *sim.Proc, caller *netsim.Node, key string) (Object, error) {
 	s.fe.Charge("s3.get", 1, s.fe.Catalog().S3GetPerRequest)
-	s.fe.RoundTrip(p, caller, 0)
+	if err := s.fe.RoundTripErr(p, caller, 0); err != nil {
+		return Object{}, err
+	}
 	obj, ok := s.visible(p.Now(), key)
 	if !ok {
 		return Object{}, fmt.Errorf("%w: %q", ErrNotFound, key)

@@ -157,11 +157,12 @@ func billedRequests(payload int64) int64 {
 }
 
 // request models one API request's round trip and charges for it,
-// including SQS's 64KB-chunk billing for large payloads.
-func (q *Queue) request(p *sim.Proc, caller *netsim.Node, payload int64) {
+// including SQS's 64KB-chunk billing for large payloads. The error is the
+// front end's admission verdict (always nil without SetAdmission).
+func (q *Queue) request(p *sim.Proc, caller *netsim.Node, payload int64) error {
 	fe := q.svc.fe
 	fe.Charge("sqs.request", billedRequests(payload), fe.Catalog().SQSPerRequest)
-	fe.RoundTrip(p, caller, 0)
+	return fe.RoundTripErr(p, caller, 0)
 }
 
 // Send enqueues one message and returns its ID.
@@ -185,7 +186,9 @@ func (q *Queue) SendBatch(p *sim.Proc, caller *netsim.Node, bodies [][]byte) ([]
 		}
 		payload += int64(len(b))
 	}
-	q.request(p, caller, payload)
+	if err := q.request(p, caller, payload); err != nil {
+		return nil, err
+	}
 	ids := make([]string, len(bodies))
 	for i, b := range bodies {
 		q.nextID++
@@ -303,9 +306,13 @@ func (q *Queue) ack(receipt string) {
 	}
 }
 
-// Delete acknowledges a delivery by receipt.
+// Delete acknowledges a delivery by receipt. A shed delete simply leaves
+// the message in flight — it reappears at the visibility timeout and is
+// redelivered, which is the at-least-once contract doing its job.
 func (q *Queue) Delete(p *sim.Proc, caller *netsim.Node, receipt string) {
-	q.request(p, caller, 0)
+	if q.request(p, caller, 0) != nil {
+		return
+	}
 	q.ack(receipt)
 }
 
@@ -314,7 +321,10 @@ func (q *Queue) DeleteBatch(p *sim.Proc, caller *netsim.Node, receipts []string)
 	if len(receipts) > MaxBatch {
 		return ErrBatchTooBig
 	}
-	q.request(p, caller, 0)
+	if err := q.request(p, caller, 0); err != nil {
+		// Nothing acked: every receipt redelivers at visibility timeout.
+		return err
+	}
 	for _, r := range receipts {
 		q.ack(r)
 	}

@@ -1,0 +1,57 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simrand"
+)
+
+// BenchmarkRetryDecision exercises the full client decision path — budget
+// deposit, breaker consult, a failing attempt under a deadline, one
+// jittered backoff draw and sleep, breaker record, then a success — in
+// steady state. CI gates it at 0 allocs/op: the policy layer must ride the
+// kernel's allocation-free sleep/timer machinery, since it wraps every
+// request of every experiment.
+func BenchmarkRetryDecision(b *testing.B) {
+	k := sim.NewKernel()
+	defer k.Close()
+	c := NewClient(k, simrand.New(1), Config{
+		Attempts:    3,
+		Deadline:    10 * time.Millisecond,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+	})
+	c.SetBudget(NewBudget(1, 100))
+	// The workload alternates fail/success (exactly 0.5), so trip above it.
+	c.SetBreakers([]*Breaker{NewBreaker(BreakerConfig{FailureRate: 0.75})})
+	fail := true
+	op := func(q *sim.Proc) error {
+		q.Sleep(10 * time.Microsecond)
+		if fail {
+			fail = false
+			return errBoom
+		}
+		return nil
+	}
+	// Warm the proc pool and the client scratch outside the timed region.
+	k.Spawn("warm", func(p *sim.Proc) {
+		for i := 0; i < 64; i++ {
+			fail = true
+			_ = c.Do(p, 0, op)
+		}
+	})
+	k.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Spawn("bench", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			fail = true
+			if err := c.Do(p, 0, op); err != nil {
+				b.Fatalf("Do = %v", err)
+			}
+		}
+	})
+	k.Run()
+}

@@ -1,0 +1,159 @@
+package resilience
+
+import "time"
+
+// Breaker states.
+const (
+	// Closed: traffic flows; outcomes fill the rolling window.
+	Closed = iota
+	// Open: calls fail fast until the cooldown expires.
+	Open
+	// HalfOpen: a bounded number of probe calls test the endpoint; one
+	// success re-closes, one failure re-opens.
+	HalfOpen
+)
+
+// BreakerConfig parameterizes the trip condition. The zero value gets
+// sensible defaults from NewBreaker (window 32, trip at ≥50% failures over
+// a ≥16-outcome window, 1s cooldown, 2 half-open probes).
+type BreakerConfig struct {
+	// Window is the rolling outcome window size (ring buffer capacity).
+	Window int
+	// MinSamples is how full the window must be before the failure-rate
+	// test applies — a single early failure must not trip a cold breaker.
+	MinSamples int
+	// FailureRate in [0,1]: trip when failures/window ≥ this.
+	FailureRate float64
+	// Cooldown is how long an open breaker rejects before probing.
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent trial calls half-open admits.
+	HalfOpenProbes int
+}
+
+// Breaker is a deterministic circuit breaker: closed→open on rolling
+// failure rate, open→half-open after a cooldown measured in simulated
+// time, half-open→closed on a probe success (→open again on a probe
+// failure). All state is plain arithmetic — no wall clock, no goroutines —
+// so breaker decisions replay bit-identically. Not safe for use from
+// multiple OS threads; the sim kernel's single timeline is the lock.
+type Breaker struct {
+	cfg   BreakerConfig
+	state int
+	// Rolling outcome ring: fails counts set bits among the valid n.
+	ring  []bool
+	head  int
+	n     int
+	fails int
+	// until is the open state's expiry; probes counts half-open launches.
+	until  time.Duration
+	probes int
+	// Trips counts closed→open transitions (including half-open relapses).
+	trips int64
+}
+
+// NewBreaker creates a breaker, applying defaults for zero cfg fields.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = cfg.Window / 2
+		if cfg.MinSamples < 1 {
+			cfg.MinSamples = 1
+		}
+	}
+	if cfg.FailureRate <= 0 {
+		cfg.FailureRate = 0.5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 2
+	}
+	return &Breaker{cfg: cfg, ring: make([]bool, cfg.Window)}
+}
+
+// State returns the current state, advancing open→half-open if the
+// cooldown has expired at now.
+func (b *Breaker) State(now time.Duration) int {
+	if b.state == Open && now >= b.until {
+		b.state = HalfOpen
+		b.probes = 0
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 { return b.trips }
+
+// Allow reports whether a call may proceed at now. In half-open it admits
+// up to HalfOpenProbes trial calls and rejects the rest.
+func (b *Breaker) Allow(now time.Duration) bool {
+	switch b.State(now) {
+	case Closed:
+		return true
+	case HalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// Record feeds a call outcome back at now. Outcomes arriving while the
+// breaker is open (stragglers from before the trip) are discarded.
+func (b *Breaker) Record(now time.Duration, ok bool) {
+	switch b.State(now) {
+	case Closed:
+		b.push(ok)
+		if b.n >= b.cfg.MinSamples && float64(b.fails) >= b.cfg.FailureRate*float64(b.n) {
+			b.trip(now)
+		}
+	case HalfOpen:
+		if ok {
+			// One good probe re-closes; the window restarts empty so stale
+			// pre-outage failures can't immediately re-trip.
+			b.state = Closed
+			b.reset()
+		} else {
+			b.trip(now)
+		}
+	}
+}
+
+func (b *Breaker) push(ok bool) {
+	if b.n == len(b.ring) {
+		if b.ring[b.head] {
+			b.fails--
+		}
+	} else {
+		b.n++
+	}
+	fail := !ok
+	b.ring[b.head] = fail
+	if fail {
+		b.fails++
+	}
+	b.head++
+	if b.head == len(b.ring) {
+		b.head = 0
+	}
+}
+
+func (b *Breaker) trip(now time.Duration) {
+	b.state = Open
+	b.until = now + b.cfg.Cooldown
+	b.trips++
+	b.reset()
+}
+
+func (b *Breaker) reset() {
+	for i := range b.ring {
+		b.ring[i] = false
+	}
+	b.head, b.n, b.fails = 0, 0, 0
+}

@@ -34,6 +34,10 @@ type Stats struct {
 	Requests int64
 	// Busy is the cumulative service time spent on those requests.
 	Busy time.Duration
+	// Shed counts requests rejected on arrival because the admission queue
+	// was full; Jailed counts requests rejected by the rate-window ban
+	// list. Both are zero unless SetAdmission enables them.
+	Shed, Jailed int64
 }
 
 // Frontend is one service endpoint: a node on the network, an op-latency
@@ -47,6 +51,8 @@ type Frontend struct {
 	catalog *pricing.Catalog
 	meter   *pricing.Meter
 	slots   *sim.Resource // nil = unlimited concurrency
+	adm     *admission    // nil = no admission control
+	slow    float64       // chaos service-time multiplier; <=0 or 1 = normal
 	stats   Stats
 }
 
@@ -126,9 +132,14 @@ func (f *Frontend) ChargeCost(item string, cost pricing.USD) {
 
 // SampleOp draws one service time and accounts it to the front end's stats.
 // Requests that split their service time around a poll (long polling) call
-// this once and spend the halves via InLeg/OutLeg.
+// this once and spend the halves via InLeg/OutLeg. A chaos SetSlowdown
+// factor scales the sample (and the Busy accounting) here, so both the
+// round-trip and split-leg paths degrade together.
 func (f *Frontend) SampleOp() time.Duration {
 	svc := f.opLat.Sample(f.rng)
+	if f.slow > 0 && f.slow != 1 {
+		svc = time.Duration(float64(svc) * f.slow)
+	}
 	f.stats.Requests++
 	f.stats.Busy += svc
 	return svc
@@ -138,8 +149,29 @@ func (f *Frontend) SampleOp() time.Duration {
 // front end, service time (plus extra, e.g. per-item scan cost), and
 // propagation back. With LimitConcurrency set, the service-time portion
 // occupies one of the finite slots.
+//
+// RoundTrip cannot report admission rejections; enabling SetAdmission on a
+// front end whose callers use this void path is a configuration error and
+// panics at the first rejection. Use RoundTripErr on admission-controlled
+// services.
 func (f *Frontend) RoundTrip(p *sim.Proc, caller *netsim.Node, extra time.Duration) {
+	if err := f.RoundTripErr(p, caller, extra); err != nil {
+		panic("service: " + f.name + ": admission rejection on the void RoundTrip path (caller must use RoundTripErr): " + err.Error())
+	}
+}
+
+// RoundTripErr is RoundTrip with admission control: after paying the
+// inbound propagation delay, the request passes the jail and shed checks
+// (see SetAdmission) and is rejected with ErrJailed/ErrShed — paying only
+// the propagation back, never a service slot or a service-time sample — or
+// proceeds exactly as RoundTrip. Without SetAdmission it never returns an
+// error.
+func (f *Frontend) RoundTripErr(p *sim.Proc, caller *netsim.Node, extra time.Duration) error {
 	p.Sleep(f.net.OneWayDelay(caller, f.node))
+	if err := f.admit(p, caller); err != nil {
+		p.Sleep(f.net.OneWayDelay(f.node, caller))
+		return err
+	}
 	if f.slots != nil {
 		f.slots.Acquire(p)
 	}
@@ -150,6 +182,7 @@ func (f *Frontend) RoundTrip(p *sim.Proc, caller *netsim.Node, extra time.Durati
 		f.slots.Release()
 	}
 	p.Sleep(f.net.OneWayDelay(f.node, caller))
+	return nil
 }
 
 // InLeg spends the request leg of a split round trip: propagation from the

@@ -33,6 +33,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/pricing"
 	"repro/internal/recon"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/simrand"
 	"repro/internal/stats"
@@ -741,12 +742,14 @@ func (c *Cache) flushDirty(p *sim.Proc) {
 	for _, key := range keys {
 		delete(c.dirty, key)
 		if err := c.flushKey(p, key); err != nil {
-			if errors.Is(err, errUnreachable) {
-				// The store sits across a severed WAN trunk. Re-mark the
-				// key and stop the cycle: the deltas stay resident (and
-				// billed) until a later cycle finds the trunk healed, so a
-				// partition can delay a write-behind flush but never lose
-				// or double-apply it.
+			if errors.Is(err, errUnreachable) || service.Overloaded(err) {
+				// The store sits across a severed WAN trunk, or its shard
+				// is shedding load. Re-mark the key and stop the cycle:
+				// the deltas stay resident (and billed) until a later
+				// cycle finds the trunk healed or the shard drained, so an
+				// outage can delay a write-behind flush but never lose or
+				// double-apply it — and a flusher that backed off is one
+				// less client hammering an overloaded store.
 				c.dirty[key] = true
 				break
 			}
